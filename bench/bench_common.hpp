@@ -1,0 +1,43 @@
+// Shared harness for the per-figure / per-table reproduction binaries.
+//
+// Each bench_* executable reproduces one table or figure from the paper's
+// evaluation: it runs the corresponding environment preset end to end
+// (record -> N replays -> captures -> Section 3 metrics) and prints the
+// same rows/series the paper reports. Scale defaults to a reduced,
+// shape-preserving packet count; set CHOIR_FULL=1 or CHOIR_SCALE=<n> for
+// more (see testbed/scale.hpp).
+#pragma once
+
+#include <string>
+
+#include "testbed/experiment.hpp"
+#include "testbed/presets.hpp"
+
+namespace choir::bench {
+
+/// Run one environment at the env-var-selected scale with the paper's
+/// five runs (A plus B-E).
+testbed::ExperimentResult run_env(const testbed::EnvironmentPreset& preset,
+                                  std::uint64_t seed = 2025);
+
+/// Print the experiment header (environment, scale, provenance counters).
+void print_header(const std::string& figure,
+                  const testbed::EnvironmentPreset& preset,
+                  const testbed::ExperimentResult& result);
+
+/// Per-run metric lines in the paper's Section 6/7 style:
+///   Run B: 92.23% IAT +-10ns, I 0.0290, L 2.62e-06, kappa 0.9855
+void print_run_metrics(const testbed::ExperimentResult& result);
+
+/// Figure-style histogram of IAT deltas (runs B..E vs A pooled and
+/// per-run percentages in the +-10ns bucket).
+void print_iat_histogram(const testbed::ExperimentResult& result);
+
+/// Figure-style histogram of latency deltas.
+void print_latency_histogram(const testbed::ExperimentResult& result);
+
+/// Table 2 row: environment | U | O | I | L | kappa (means over runs).
+std::vector<std::string> table2_row(const std::string& name,
+                                    const testbed::ExperimentResult& result);
+
+}  // namespace choir::bench

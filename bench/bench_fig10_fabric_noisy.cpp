@@ -1,0 +1,38 @@
+// Figure 10 (a, b) + Section 7.1: FABRIC shared NICs at 40 Gbps with a
+// co-located iperf3-style load (8 TCP streams bouncing 35-50 Gbps)
+// sharing the physical hardware — plus the dedicated-NIC control at
+// 80 Gbps, which the noise barely touches. Paper bands (shared):
+// 9.3-13.8% IAT within +-10 ns, I 0.475-0.530, L ~2e-4, kappa ~0.74-0.76,
+// and the first runs with drops (U up to 5.8e-4).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace choir;
+  {
+    const auto preset = testbed::fabric_shared_40_noisy();
+    const auto result = bench::run_env(preset);
+    bench::print_header("Figure 10 / Section 7.1 (shared, noisy)", preset,
+                        result);
+    bench::print_run_metrics(result);
+    std::size_t runs_with_drops = 0;
+    for (std::size_t r = 1; r < result.capture_sizes.size(); ++r) {
+      if (result.capture_sizes[r] != result.capture_sizes[0]) {
+        ++runs_with_drops;
+      }
+    }
+    std::printf("runs with drops vs run A: %zu (paper: 3 of 5 runs, "
+                "205-1230 packets each)\n", runs_with_drops);
+    bench::print_iat_histogram(result);      // Fig. 10a
+    bench::print_latency_histogram(result);  // Fig. 10b
+  }
+  {
+    const auto preset = testbed::fabric_dedicated_80_noisy();
+    const auto result = bench::run_env(preset);
+    bench::print_header("Section 7.1 control (dedicated, noisy)", preset,
+                        result);
+    bench::print_run_metrics(result);
+  }
+  return 0;
+}

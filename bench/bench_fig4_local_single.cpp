@@ -1,0 +1,15 @@
+// Figure 4 (a, b) + Section 6.1 in-text metrics: local testbed, single
+// replayer, 40 Gbps of 1400-byte packets. Paper bands: U = O = 0,
+// ~92.2-92.5% of IAT deltas within +-10 ns, I ~0.029, kappa ~0.985.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace choir;
+  const auto preset = testbed::local_single();
+  const auto result = bench::run_env(preset);
+  bench::print_header("Figure 4 / Section 6.1", preset, result);
+  bench::print_run_metrics(result);
+  bench::print_iat_histogram(result);      // Fig. 4a
+  bench::print_latency_histogram(result);  // Fig. 4b
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 6 (a, b): FABRIC, dedicated ConnectX-6 NICs at 40 Gbps, first
+// epoch. Paper bands: U = O = 0, 30.6-48.4% IAT within +-10 ns,
+// I ~0.49-0.51, L ~2-5e-5, kappa 0.65-0.82.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace choir;
+  const auto preset = testbed::fabric_dedicated_40_epoch1();
+  const auto result = bench::run_env(preset);
+  bench::print_header("Figure 6 / Section 7 test 1", preset, result);
+  bench::print_run_metrics(result);
+  bench::print_iat_histogram(result);      // Fig. 6a
+  bench::print_latency_histogram(result);  // Fig. 6b
+  return 0;
+}

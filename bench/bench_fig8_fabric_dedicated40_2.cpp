@@ -1,0 +1,16 @@
+// Figure 8 (a, b): FABRIC, dedicated NICs at 40 Gbps, second epoch — the
+// confirmation run for the surprising test-1 result. Paper bands:
+// U = O = 0, 24.0-27.2% IAT within +-10 ns, I ~0.49-0.51, L ~3.8-4.6e-4
+// (an order worse than epoch 1), kappa ~0.743-0.756.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace choir;
+  const auto preset = testbed::fabric_dedicated_40_epoch2();
+  const auto result = bench::run_env(preset);
+  bench::print_header("Figure 8 / Section 7 test 3", preset, result);
+  bench::print_run_metrics(result);
+  bench::print_iat_histogram(result);      // Fig. 8a
+  bench::print_latency_histogram(result);  // Fig. 8b
+  return 0;
+}

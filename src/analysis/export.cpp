@@ -1,0 +1,59 @@
+#include "analysis/export.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/expect.hpp"
+
+namespace choir::analysis {
+
+namespace {
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  CHOIR_EXPECT(out.good(), "cannot open for writing: " + path);
+  return out;
+}
+
+std::string edge_repr(double edge) {
+  if (std::isinf(edge)) return edge < 0 ? "-inf" : "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", edge);
+  return buf;
+}
+}  // namespace
+
+void write_histogram_csv(const DeltaHistogram& histogram,
+                         const std::string& path) {
+  std::ofstream out = open_out(path);
+  out << "bin_lo_ns,bin_hi_ns,count,fraction\n";
+  for (std::size_t i = 0; i < histogram.bins().size(); ++i) {
+    const auto& bin = histogram.bins()[i];
+    out << edge_repr(bin.lo) << ',' << edge_repr(bin.hi) << ',' << bin.count
+        << ',' << histogram.fraction(i) << '\n';
+  }
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+void write_series_csv(const std::vector<double>& series,
+                      const std::string& path) {
+  std::ofstream out = open_out(path);
+  out << "index,delta_ns\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << i << ',' << series[i] << '\n';
+  }
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+void write_metrics_csv(const std::vector<MetricsRow>& rows,
+                       const std::string& path) {
+  std::ofstream out = open_out(path);
+  out << "label,U,O,I,L,kappa\n";
+  for (const MetricsRow& row : rows) {
+    out << row.label << ',' << row.metrics.uniqueness << ','
+        << row.metrics.ordering << ',' << row.metrics.iat << ','
+        << row.metrics.latency << ',' << row.metrics.kappa << '\n';
+  }
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+}  // namespace choir::analysis

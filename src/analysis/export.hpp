@@ -1,0 +1,32 @@
+// Machine-readable exports of experiment artifacts: CSV series for the
+// figures and CSV tables for the metric summaries, so plots can be
+// regenerated with any external tool (the paper's artifact produces
+// matplotlib figures from equivalent files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "core/metrics.hpp"
+
+namespace choir::analysis {
+
+/// Histogram as CSV: bin_lo,bin_hi,count,fraction (one row per bin,
+/// including empty ones; open bins use +-inf).
+void write_histogram_csv(const DeltaHistogram& histogram,
+                         const std::string& path);
+
+/// Raw per-packet delta series as CSV: index,delta_ns.
+void write_series_csv(const std::vector<double>& series,
+                      const std::string& path);
+
+/// Metric rows as CSV: label,U,O,I,L,kappa.
+struct MetricsRow {
+  std::string label;
+  core::ConsistencyMetrics metrics;
+};
+void write_metrics_csv(const std::vector<MetricsRow>& rows,
+                       const std::string& path);
+
+}  // namespace choir::analysis

@@ -1,0 +1,102 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace choir::analysis {
+
+DeltaHistogram::DeltaHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  CHOIR_EXPECT(!edges_.empty(), "histogram needs at least one edge");
+  CHOIR_EXPECT(std::is_sorted(edges_.begin(), edges_.end()) &&
+                   edges_.front() > 0.0,
+               "edges must be positive and ascending");
+  // Layout: [neg-overflow][neg bins, outer->inner][centre][pos bins,
+  // inner->outer][pos-overflow]. With n edges that is 2n + 1 bins.
+  const std::size_t n = edges_.size();
+  bins_.resize(2 * n + 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Negative side: bin index (n-1-k) covers [-e_{k+1}, -e_k).
+    const double hi = -edges_[k];
+    const double lo = k + 1 < n ? -edges_[k + 1] : -inf;
+    bins_[n - 1 - k].lo = lo;
+    bins_[n - 1 - k].hi = hi;
+    // Positive side: bin index (n+1+k) covers (e_k, e_{k+1}].
+    bins_[n + 1 + k].lo = edges_[k];
+    bins_[n + 1 + k].hi = k + 1 < n ? edges_[k + 1] : inf;
+  }
+  bins_[n].lo = -edges_[0];
+  bins_[n].hi = edges_[0];
+}
+
+DeltaHistogram DeltaHistogram::log_ns() {
+  return DeltaHistogram({10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+}
+
+std::size_t DeltaHistogram::bin_index(double value) const {
+  const std::size_t n = edges_.size();
+  const double mag = std::abs(value);
+  if (mag <= edges_[0]) return n;  // centre
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), mag);
+  // Bucket k: magnitude in (e_{k-1}, e_k], overflow when beyond last edge.
+  const std::size_t k =
+      it == edges_.end() ? n : static_cast<std::size_t>(it - edges_.begin());
+  return value > 0.0 ? n + k : n - k;
+}
+
+void DeltaHistogram::add(double value) {
+  ++bins_[bin_index(value)].count;
+  ++total_;
+}
+
+void DeltaHistogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+double DeltaHistogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bins_.at(bin).count) /
+         static_cast<double>(total_);
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  const double mag = std::abs(ns);
+  if (std::isinf(ns)) {
+    std::snprintf(buf, sizeof(buf), "%sinf", ns < 0 ? "-" : "+");
+  } else if (mag >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%+.3g s", ns / 1e9);
+  } else if (mag >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%+.3g ms", ns / 1e6);
+  } else if (mag >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%+.3g us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%+.3g ns", ns);
+  }
+  return buf;
+}
+
+std::string DeltaHistogram::render(int bar_width) const {
+  std::string out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const Bin& b = bins_[i];
+    if (b.count == 0) continue;
+    const double frac = fraction(i);
+    char label[96];
+    std::snprintf(label, sizeof(label), "%12s .. %-12s %7.3f%% |",
+                  format_ns(b.lo).c_str(), format_ns(b.hi).c_str(),
+                  frac * 100.0);
+    out += label;
+    const int bar = static_cast<int>(frac * bar_width + 0.5);
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace choir::analysis

@@ -1,0 +1,52 @@
+// Signed log-binned delta histograms — the shape of the paper's IAT- and
+// latency-delta figures (Figs. 4-10), rendered as text.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace choir::analysis {
+
+/// Histogram over symmetric logarithmic bins: a centre bin [-e0, e0],
+/// then (e_k, e_{k+1}] on the positive side and mirrored on the negative
+/// side, with open-ended outermost bins.
+class DeltaHistogram {
+ public:
+  /// `edges` are the positive bin edges, strictly ascending, e.g.
+  /// {10, 100, 1000, ...}. The centre bin is [-edges[0], edges[0]].
+  explicit DeltaHistogram(std::vector<double> edges);
+
+  /// The paper's nanosecond-delta binning: decades from 10 ns to 100 ms.
+  static DeltaHistogram log_ns();
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  struct Bin {
+    double lo = 0.0;  ///< -inf for the leftmost bin
+    double hi = 0.0;  ///< +inf for the rightmost bin
+    std::uint64_t count = 0;
+  };
+
+  const std::vector<Bin>& bins() const { return bins_; }
+  std::uint64_t total() const { return total_; }
+  double fraction(std::size_t bin) const;
+
+  /// Multi-line text rendering: one row per non-empty bin with a
+  /// percentage bar, like the figures' y-axis ("percentage of packets").
+  std::string render(int bar_width = 50) const;
+
+ private:
+  std::size_t bin_index(double value) const;
+
+  std::vector<double> edges_;
+  std::vector<Bin> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Format a nanosecond quantity with unit scaling ("1.2 us", "340 ns").
+std::string format_ns(double ns);
+
+}  // namespace choir::analysis

@@ -1,0 +1,57 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace choir::analysis {
+
+std::string format_metric(double value) {
+  char buf[48];
+  const double mag = std::abs(value);
+  if (value == 0.0) {
+    return "0";
+  }
+  if (mag < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2e", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+  }
+  return buf;
+}
+
+std::vector<std::string> metrics_cells(const core::ConsistencyMetrics& m) {
+  return {format_metric(m.uniqueness), format_metric(m.ordering),
+          format_metric(m.iat), format_metric(m.latency),
+          format_metric(m.kappa)};
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = emit_row(header_);
+  std::string rule = "|";
+  for (const std::size_t w : widths) {
+    rule += std::string(w + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+}  // namespace choir::analysis

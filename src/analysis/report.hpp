@@ -1,0 +1,35 @@
+// Plain-text / markdown report formatting for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace choir::analysis {
+
+/// Simple column-aligned text table (also valid markdown when piped).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "2.62e-06"-style compact scientific for small metric values; plain
+/// fixed format otherwise (matches how the paper prints U/O/L/I).
+std::string format_metric(double value);
+
+/// One U/O/I/L/kappa row, in the paper's Table 2 column order.
+std::vector<std::string> metrics_cells(const core::ConsistencyMetrics& m);
+
+}  // namespace choir::analysis

@@ -1,0 +1,39 @@
+#include "choir/control.hpp"
+
+namespace choir::app {
+
+void encode_control(pktio::Frame& frame, const pktio::FlowAddress& flow,
+                    const ControlMessage& msg) {
+  pktio::FlowAddress addressed = flow;
+  addressed.dst_port = kControlPort;
+  frame.wire_len = 64;  // minimum-ish control datagram
+  pktio::write_eth_ipv4_udp(frame, addressed);
+
+  frame.has_trailer = true;
+  auto& t = frame.trailer;
+  t.fill(0);
+  t[0] = static_cast<std::uint8_t>(kControlMagic >> 8);
+  t[1] = static_cast<std::uint8_t>(kControlMagic & 0xff);
+  t[2] = static_cast<std::uint8_t>(msg.op);
+  for (int i = 0; i < 8; ++i) {
+    t[3 + i] = static_cast<std::uint8_t>(msg.arg >> (56 - 8 * i));
+  }
+}
+
+std::optional<ControlMessage> decode_control(const pktio::Frame& frame) {
+  const auto parsed = pktio::parse_eth_ipv4_udp(frame);
+  if (!parsed.valid || parsed.flow.dst_port != kControlPort) {
+    return std::nullopt;
+  }
+  if (!frame.has_trailer) return std::nullopt;
+  const auto& t = frame.trailer;
+  const std::uint16_t magic = static_cast<std::uint16_t>((t[0] << 8) | t[1]);
+  if (magic != kControlMagic) return std::nullopt;
+  ControlMessage msg;
+  msg.op = static_cast<Op>(t[2]);
+  msg.arg = 0;
+  for (int i = 0; i < 8; ++i) msg.arg = (msg.arg << 8) | t[3 + i];
+  return msg;
+}
+
+}  // namespace choir::app

@@ -1,0 +1,43 @@
+// Choir's control plane.
+//
+// Middleboxes idle transparently and are driven by small in-band control
+// frames (the paper's evaluations run control in-band to conserve NICs;
+// an out-of-band control port uses the same encoding). A control frame is
+// a UDP datagram to the Choir control port whose trailer carries a
+// control magic, an opcode, and a 64-bit argument.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+#include "pktio/frame.hpp"
+#include "pktio/headers.hpp"
+
+namespace choir::app {
+
+inline constexpr std::uint16_t kControlPort = 0xC401;
+inline constexpr std::uint16_t kControlMagic = 0xC7A1;
+
+enum class Op : std::uint8_t {
+  kStartRecord = 1,  ///< begin holding forwarded packets
+  kStopRecord = 2,   ///< stop holding; the recording is complete
+  kStartReplay = 3,  ///< arg = wall-clock start time (ns)
+  kClearRecording = 4,
+  kPing = 5,
+};
+
+struct ControlMessage {
+  Op op = Op::kPing;
+  std::uint64_t arg = 0;
+};
+
+/// Build a control frame addressed by `flow` (dst UDP port is forced to
+/// the control port).
+void encode_control(pktio::Frame& frame, const pktio::FlowAddress& flow,
+                    const ControlMessage& msg);
+
+/// Decode if `frame` is a Choir control frame; nullopt otherwise.
+std::optional<ControlMessage> decode_control(const pktio::Frame& frame);
+
+}  // namespace choir::app

@@ -1,0 +1,22 @@
+#include "choir/controller.hpp"
+
+#include "common/expect.hpp"
+
+namespace choir::app {
+
+void Controller::send_at(Ns at, const pktio::FlowAddress& flow,
+                         const ControlMessage& msg) {
+  queue_.schedule_at(at, [this, flow, msg] {
+    pktio::Mbuf* m = pool_.alloc();
+    CHOIR_EXPECT(m != nullptr, "controller pool exhausted");
+    encode_control(m->frame, flow, msg);
+    pktio::Mbuf* burst[1] = {m};
+    if (vf_.backend_tx(burst, 1) != 1) {
+      pktio::Mempool::release(m);
+      return;
+    }
+    ++sent_;
+  });
+}
+
+}  // namespace choir::app

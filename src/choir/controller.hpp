@@ -1,0 +1,56 @@
+// User-side control client: issues record/replay commands to middleboxes
+// over the (in-band) control channel, the way the paper's Jupyter driver
+// does over FABlib.
+#pragma once
+
+#include "choir/control.hpp"
+#include "pktio/mbuf.hpp"
+#include "net/nic.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace choir::app {
+
+class Controller {
+ public:
+  Controller(sim::EventQueue& queue, sim::NodeClock& clock, net::Vf& vf,
+             pktio::Mempool& pool)
+      : queue_(queue), clock_(clock), vf_(vf), pool_(pool) {}
+
+  /// Send a control message to the middlebox addressed by `flow`, at
+  /// simulated time `at` (the command dispatch instant).
+  void send_at(Ns at, const pktio::FlowAddress& flow,
+               const ControlMessage& msg);
+
+  void start_record(Ns at, const pktio::FlowAddress& flow) {
+    send_at(at, flow, ControlMessage{Op::kStartRecord, 0});
+  }
+  void stop_record(Ns at, const pktio::FlowAddress& flow) {
+    send_at(at, flow, ControlMessage{Op::kStopRecord, 0});
+  }
+  /// Command a replay to start at wall-clock `wall_start` (this
+  /// controller's clock and the middlebox's clock agree only as well as
+  /// PTP synchronized them).
+  void start_replay(Ns at, const pktio::FlowAddress& flow, Ns wall_start) {
+    send_at(at, flow,
+            ControlMessage{Op::kStartReplay,
+                           static_cast<std::uint64_t>(wall_start)});
+  }
+  void clear_recording(Ns at, const pktio::FlowAddress& flow) {
+    send_at(at, flow, ControlMessage{Op::kClearRecording, 0});
+  }
+
+  /// This controller's current wall-clock reading.
+  Ns wall_now() const { return clock_.system.read(queue_.now()); }
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  sim::EventQueue& queue_;
+  sim::NodeClock& clock_;
+  net::Vf& vf_;
+  pktio::Mempool& pool_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace choir::app

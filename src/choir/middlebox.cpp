@@ -1,0 +1,209 @@
+#include "choir/middlebox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace choir::app {
+
+Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
+                     net::Vf& in, net::Vf& out, ChoirConfig config, Rng rng)
+    : queue_(queue),
+      clock_(clock),
+      in_dev_("choir-in", in),
+      out_dev_("choir-out", out),
+      out_vf_(out),
+      config_(config),
+      rng_(rng.split(0x4d42)),
+      loop_(queue, in, config.poll, rng.split(0x504f4c)),
+      recording_(config.max_recorded_packets,
+                 config.rolling_record ? Recording::Mode::kRolling
+                                       : Recording::Mode::kBounded) {
+  loop_.set_handler([this] { return on_poll(); });
+}
+
+void Middlebox::start() { loop_.start(); }
+
+void Middlebox::start_record() {
+  recording_active_ = true;
+}
+
+void Middlebox::stop_record() { recording_active_ = false; }
+
+void Middlebox::clear_recording() {
+  CHOIR_EXPECT(!replay_armed_, "cannot clear a recording mid-replay");
+  recording_.clear();
+  next_tag_seq_ = 0;
+}
+
+bool Middlebox::on_poll() {
+  pktio::Mbuf* burst[pktio::kMaxBurst];
+  const auto want = std::min<std::uint16_t>(config_.rx_burst_size,
+                                            pktio::kMaxBurst);
+  const std::uint16_t n = in_dev_.rx_burst(burst, want);
+  if (n == 0) return false;
+
+  // Peel control frames out of the stream; everything else forwards.
+  std::uint16_t fwd = 0;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    if (const auto msg = decode_control(burst[i]->frame)) {
+      ++stats_.control_frames;
+      handle_control(*msg);
+      pktio::Mempool::release(burst[i]);
+      continue;
+    }
+    burst[fwd++] = burst[i];
+  }
+  if (fwd == 0) return true;
+
+  if (recording_active_ && config_.stamp_tags) {
+    for (std::uint16_t i = 0; i < fwd; ++i) {
+      trace::stamp(burst[i]->frame,
+                   trace::Tag{config_.replayer_id, config_.stream_id,
+                              next_tag_seq_++});
+    }
+  }
+
+  // Transmit first, then record the burst exactly as transmitted, with
+  // the transmit-time TSC (Section 4: record after transmission, no copy).
+  const std::uint64_t tsc = clock_.tsc.read(queue_.now());
+  const std::uint16_t sent = out_dev_.tx_burst(burst, fwd);
+  stats_.forwarded += sent;
+  // A forwarder with a full tx ring drops on the floor (it cannot stall
+  // its rx side); the recording only ever holds what was transmitted.
+  stats_.forward_drops += fwd - sent;
+  for (std::uint16_t i = sent; i < fwd; ++i) {
+    pktio::Mempool::release(burst[i]);
+  }
+
+  if (recording_active_ && sent > 0) {
+    if (recording_.add_burst(tsc, burst, sent)) {
+      stats_.recorded += sent;
+    } else {
+      stats_.record_overflow += sent;
+    }
+    // Breakpoint check after the burst is safely recorded: the matching
+    // frame is the last thing in the (rolling) buffer.
+    if (breakpoint_) {
+      for (std::uint16_t i = 0; i < sent; ++i) {
+        if (breakpoint_(burst[i]->frame)) {
+          ++stats_.breakpoint_hits;
+          recording_active_ = false;
+          breakpoint_ = nullptr;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Middlebox::handle_control(const ControlMessage& msg) {
+  switch (msg.op) {
+    case Op::kStartRecord:
+      start_record();
+      break;
+    case Op::kStopRecord:
+      stop_record();
+      break;
+    case Op::kStartReplay:
+      schedule_replay(static_cast<Ns>(msg.arg));
+      break;
+    case Op::kClearRecording:
+      clear_recording();
+      break;
+    case Op::kPing:
+      break;
+  }
+}
+
+void Middlebox::schedule_replay(Ns wall_start) {
+  if (recording_.empty() || replay_armed_) return;
+  const Ns now = queue_.now();
+  // Wall-clock target -> local TSC target, via this node's believed
+  // clocks. PTP error and TSC calibration error land here, exactly as in
+  // the real system.
+  const Ns wall_now = clock_.system.read(now);
+  const std::uint64_t tsc_now = clock_.tsc.read(now);
+  const Ns lead = std::max<Ns>(0, wall_start - wall_now);
+  const std::uint64_t tsc_start = tsc_now + clock_.tsc.ns_to_ticks(lead);
+  replay_tsc_delta_ = tsc_start - recording_.first_tsc();
+  begin_replay(clock_.tsc.time_of_ticks(tsc_start), replay_tsc_delta_);
+}
+
+void Middlebox::begin_replay(Ns true_start, std::uint64_t tsc_delta) {
+  replay_armed_ = true;
+  replay_cursor_ = 0;
+  replay_tsc_delta_ = tsc_delta;
+  loop_free_at_ = std::max(queue_.now(), true_start);
+  slip_until_ = 0;
+  ++stats_.replays_started;
+  replay_step();
+}
+
+void Middlebox::replay_step() {
+  const RecordedBurst& burst = recording_.bursts()[replay_cursor_];
+  const std::uint64_t target_tsc = burst.tsc + replay_tsc_delta_;
+  Ns t = clock_.tsc.time_of_ticks(target_tsc);
+
+  // The transmit loop spins on a TSC read: the burst goes out within one
+  // check-loop iteration after its target.
+  t += static_cast<Ns>(rng_.uniform() * config_.loop_check_ns);
+
+  // Replay-loop preemption between the previous burst and this one.
+  if (config_.slip_rate_hz > 0.0 && t > loop_free_at_) {
+    const double window_s = to_seconds(t - loop_free_at_);
+    const double p_slip = 1.0 - std::exp(-config_.slip_rate_hz * window_s);
+    if (rng_.chance(p_slip)) {
+      const double stall =
+          rng_.lognormal(config_.slip_mu_log_ns, config_.slip_sigma_log);
+      slip_until_ = t + static_cast<Ns>(stall);
+    }
+  }
+  t = std::max({t, loop_free_at_, slip_until_, queue_.now()});
+
+  queue_.schedule_at(t, [this] { emit_burst_from(0); });
+}
+
+void Middlebox::emit_burst_from(std::size_t offset) {
+  const RecordedBurst& b = recording_.bursts()[replay_cursor_];
+  pktio::Mbuf* pkts[pktio::kMaxBurst];
+  while (offset < b.pkts.size()) {
+    const auto chunk = static_cast<std::uint16_t>(
+        std::min<std::size_t>(pktio::kMaxBurst, b.pkts.size() - offset));
+    for (std::uint16_t i = 0; i < chunk; ++i) {
+      pkts[i] = b.pkts[offset + i];
+      pktio::Mempool::retain(pkts[i]);  // the NIC releases after the wire
+    }
+    const std::uint16_t sent = out_dev_.tx_burst(pkts, chunk);
+    stats_.replayed_packets += sent;
+    for (std::uint16_t i = sent; i < chunk; ++i) {
+      pktio::Mempool::release(pkts[i]);
+    }
+    offset += sent;
+    if (sent < chunk) {
+      // Descriptor ring full: the transmit loop spins until the NIC
+      // frees slots, then retries the remainder — nothing is dropped
+      // (rte_eth_tx_burst semantics).
+      ++stats_.tx_ring_retries;
+      queue_.schedule_in(200, [this, offset] { emit_burst_from(offset); });
+      return;
+    }
+  }
+  finish_burst();
+}
+
+void Middlebox::finish_burst() {
+  ++stats_.replayed_bursts;
+  loop_free_at_ = queue_.now() + static_cast<Ns>(config_.loop_check_ns);
+  ++replay_cursor_;
+  if (replay_cursor_ < recording_.burst_count()) {
+    replay_step();
+  } else {
+    replay_armed_ = false;
+    replay_cursor_ = 0;
+  }
+}
+
+}  // namespace choir::app

@@ -1,0 +1,104 @@
+// The Choir middlebox: transparent forwarder, recorder, and TSC-paced
+// replayer (Section 4 of the paper).
+//
+// In standby it bridges its in-port to its out-port at line rate,
+// unmodified. On StartRecord it additionally stamps each packet with the
+// evaluation trailer and holds the transmitted bursts (zero-copy) with
+// their transmit TSC. On StartReplay(T) it computes the TSC delta for
+// wall-clock time T and re-transmits every burst when its recorded TSC
+// plus the delta comes due, reproducing the recorded pacing up to the
+// check-loop granularity and the NIC's DMA-pull bound.
+#pragma once
+
+#include <cstdint>
+
+#include "choir/config.hpp"
+#include "choir/control.hpp"
+#include "choir/recording.hpp"
+#include "common/rng.hpp"
+#include "net/poll_loop.hpp"
+#include "pktio/ethdev.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/tag.hpp"
+
+namespace choir::app {
+
+struct MiddleboxStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t control_frames = 0;
+  std::uint64_t replays_started = 0;
+  std::uint64_t replayed_bursts = 0;
+  std::uint64_t replayed_packets = 0;
+  std::uint64_t record_overflow = 0;  ///< packets past the RAM bound
+  std::uint64_t breakpoint_hits = 0;
+  std::uint64_t forward_drops = 0;    ///< tx ring full while forwarding
+  std::uint64_t tx_ring_retries = 0;  ///< replay spins on a full tx ring
+};
+
+class Middlebox {
+ public:
+  Middlebox(sim::EventQueue& queue, sim::NodeClock& clock, net::Vf& in,
+            net::Vf& out, ChoirConfig config, Rng rng);
+
+  /// Begin standby forwarding.
+  void start();
+
+  // Control-plane operations; also reachable via in-band control frames.
+  void start_record();
+  void stop_record();
+  void clear_recording();
+
+  /// Schedule a replay to begin at wall-clock time `wall_start` as seen
+  /// by this node's (PTP-disciplined) system clock.
+  void schedule_replay(Ns wall_start);
+
+  bool recording_active() const { return recording_active_; }
+  bool replay_active() const { return replay_cursor_ > 0 || replay_armed_; }
+  const Recording& recording() const { return recording_; }
+  const MiddleboxStats& stats() const { return stats_; }
+  const ChoirConfig& config() const { return config_; }
+
+  /// Debugging primitive built on rolling recording: when `predicate`
+  /// matches a forwarded frame, recording freezes right after that frame
+  /// — the buffer then holds the traffic leading up to the event (a
+  /// backtrace) ready for replay. One-shot; cleared when it fires.
+  void set_breakpoint(std::function<bool(const pktio::Frame&)> predicate) {
+    breakpoint_ = std::move(predicate);
+  }
+  bool breakpoint_armed() const { return static_cast<bool>(breakpoint_); }
+
+ private:
+  bool on_poll();
+  void handle_control(const ControlMessage& msg);
+  void begin_replay(Ns true_start, std::uint64_t tsc_delta);
+  void replay_step();
+  void emit_burst_from(std::size_t offset);
+  void finish_burst();
+
+  sim::EventQueue& queue_;
+  sim::NodeClock& clock_;
+  pktio::EthDev in_dev_;
+  pktio::EthDev out_dev_;
+  net::Vf& out_vf_;
+  ChoirConfig config_;
+  Rng rng_;
+  net::PollLoop loop_;
+
+  Recording recording_;
+  bool recording_active_ = false;
+  std::uint64_t next_tag_seq_ = 0;
+  std::function<bool(const pktio::Frame&)> breakpoint_;
+
+  // Replay state machine (chained events, one per burst).
+  bool replay_armed_ = false;
+  std::size_t replay_cursor_ = 0;
+  std::uint64_t replay_tsc_delta_ = 0;
+  Ns loop_free_at_ = 0;
+  Ns slip_until_ = 0;
+
+  MiddleboxStats stats_;
+};
+
+}  // namespace choir::app

@@ -1,0 +1,107 @@
+// Zero-copy replay buffer.
+//
+// "A recording is made by holding forwarded packets in memory after their
+// transmission without making a copy" — the recording retains a reference
+// on each mbuf it stores; the forwarding path's own reference is released
+// by the NIC after transmit. Packets stay grouped as the bursts they were
+// transmitted in, each burst stamped with the transmit-time TSC read.
+//
+// Two capacity disciplines:
+//  - bounded (the paper's implementation): once `capacity` packets are
+//    held, further bursts overflow and are not recorded;
+//  - rolling (the paper's Section 4 future work): the buffer is a ring —
+//    the oldest bursts are evicted to admit new ones, so the recording
+//    always holds the most recent `capacity` packets. This is what makes
+//    breakpoint-style "what just happened" debugging possible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pktio/mbuf.hpp"
+
+namespace choir::app {
+
+struct RecordedBurst {
+  std::uint64_t tsc = 0;             ///< TSC at transmit of the burst
+  std::vector<pktio::Mbuf*> pkts;
+};
+
+class Recording {
+ public:
+  enum class Mode {
+    kBounded,  ///< stop admitting at capacity
+    kRolling,  ///< evict oldest bursts at capacity
+  };
+
+  explicit Recording(std::size_t capacity = SIZE_MAX,
+                     Mode mode = Mode::kBounded)
+      : capacity_(capacity), mode_(mode) {}
+  Recording(const Recording&) = delete;
+  Recording& operator=(const Recording&) = delete;
+  ~Recording() { clear(); }
+
+  /// Retain and store one transmitted burst. Returns false (and stores
+  /// nothing) only in bounded mode at capacity.
+  bool add_burst(std::uint64_t tsc, pktio::Mbuf* const* pkts,
+                 std::uint16_t n) {
+    if (packets_ + n > capacity_) {
+      if (mode_ == Mode::kBounded) return false;
+      while (!bursts_.empty() && packets_ + n > capacity_) {
+        evict_front();
+      }
+      if (packets_ + n > capacity_) return false;  // burst > capacity
+    }
+    RecordedBurst burst;
+    burst.tsc = tsc;
+    burst.pkts.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      pktio::Mempool::retain(pkts[i]);
+      burst.pkts.push_back(pkts[i]);
+      ++packets_;
+    }
+    bursts_.push_back(std::move(burst));
+    return true;
+  }
+
+  /// Release every held buffer.
+  void clear() {
+    while (!bursts_.empty()) evict_front();
+  }
+
+  const std::deque<RecordedBurst>& bursts() const { return bursts_; }
+  std::size_t burst_count() const { return bursts_.size(); }
+  std::size_t packet_count() const { return packets_; }
+  bool empty() const { return bursts_.empty(); }
+  std::uint64_t first_tsc() const { return bursts_.front().tsc; }
+  std::uint64_t last_tsc() const { return bursts_.back().tsc; }
+  std::size_t capacity() const { return capacity_; }
+  Mode mode() const { return mode_; }
+  std::uint64_t evicted_packets() const { return evicted_; }
+
+  /// Reconfigure capacity/mode; only allowed while empty (between
+  /// recordings), to keep eviction semantics unambiguous.
+  void configure(std::size_t capacity, Mode mode) {
+    if (!bursts_.empty()) return;
+    capacity_ = capacity;
+    mode_ = mode;
+  }
+
+ private:
+  void evict_front() {
+    RecordedBurst& burst = bursts_.front();
+    for (pktio::Mbuf* m : burst.pkts) pktio::Mempool::release(m);
+    packets_ -= burst.pkts.size();
+    evicted_ += burst.pkts.size();
+    bursts_.pop_front();
+  }
+
+  std::deque<RecordedBurst> bursts_;
+  std::size_t packets_ = 0;
+  std::size_t capacity_;
+  Mode mode_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace choir::app

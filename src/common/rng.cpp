@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace choir {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  CHOIR_EXPECT(n > 0, "uniform_u64 needs n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -n % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate to keep streams stateless.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::exponential(double mean) {
+  CHOIR_EXPECT(mean > 0.0, "exponential needs mean > 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  CHOIR_EXPECT(x_m > 0.0 && alpha > 0.0, "pareto needs positive parameters");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::split(std::uint64_t salt) {
+  std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace choir

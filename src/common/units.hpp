@@ -1,0 +1,49 @@
+// Strong-ish unit helpers shared across the Choir codebase.
+//
+// All simulated time is carried as signed 64-bit nanoseconds. A signed
+// representation lets deltas (IAT deviations, latency deviations, clock
+// offsets) share the same type as absolute timestamps without narrowing.
+#pragma once
+
+#include <cstdint>
+
+namespace choir {
+
+/// Simulated time and time deltas, in nanoseconds.
+using Ns = std::int64_t;
+
+inline constexpr Ns kNsPerUs = 1'000;
+inline constexpr Ns kNsPerMs = 1'000'000;
+inline constexpr Ns kNsPerSec = 1'000'000'000;
+
+constexpr Ns microseconds(double us) { return static_cast<Ns>(us * kNsPerUs); }
+constexpr Ns milliseconds(double ms) { return static_cast<Ns>(ms * kNsPerMs); }
+constexpr Ns seconds(double s) { return static_cast<Ns>(s * kNsPerSec); }
+
+constexpr double to_seconds(Ns t) { return static_cast<double>(t) / kNsPerSec; }
+
+/// Link / traffic rates, in bits per second.
+using BitsPerSec = double;
+
+constexpr BitsPerSec gbps(double g) { return g * 1e9; }
+constexpr BitsPerSec mbps(double m) { return m * 1e6; }
+
+/// Time to serialize `bytes` onto a wire running at `rate` bits/sec.
+/// Rounded to the nearest nanosecond; a zero or negative rate is treated
+/// as infinitely fast (0 ns), which models an ideal internal hop.
+constexpr Ns serialization_ns(std::uint32_t bytes, BitsPerSec rate) {
+  if (rate <= 0.0) return 0;
+  return static_cast<Ns>(static_cast<double>(bytes) * 8.0 * kNsPerSec / rate + 0.5);
+}
+
+/// Packets per second for fixed-size CBR traffic at `rate` bits/sec.
+constexpr double packets_per_sec(std::uint32_t bytes, BitsPerSec rate) {
+  return rate / (8.0 * static_cast<double>(bytes));
+}
+
+/// Mean inter-packet gap (ns) for fixed-size CBR traffic.
+constexpr double mean_iat_ns(std::uint32_t bytes, BitsPerSec rate) {
+  return static_cast<double>(kNsPerSec) / packets_per_sec(bytes, rate);
+}
+
+}  // namespace choir

@@ -1,0 +1,148 @@
+#include "core/edit_script.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/expect.hpp"
+#include "core/lis.hpp"
+
+namespace choir::core {
+
+double Alignment::total_abs_displacement() const {
+  double sum = 0.0;
+  for (const Move& m : moves) {
+    sum += static_cast<double>(m.displacement < 0 ? -m.displacement
+                                                  : m.displacement);
+  }
+  return sum;
+}
+
+namespace {
+
+/// Sum of |rank_a - rank_b| over matches off one maximal LCS, where the
+/// LCS is found as the LIS of `sequence`. Marks the chosen LCS members in
+/// `on_lcs` when `record` is set.
+double off_lcs_displacement(const std::vector<std::uint32_t>& sequence,
+                            const std::vector<std::uint32_t>& other_rank,
+                            std::vector<char>* on_lcs) {
+  const std::vector<std::uint32_t> lcs =
+      longest_increasing_subsequence(sequence);
+  std::vector<char> member(sequence.size(), 0);
+  for (const std::uint32_t pos : lcs) member[pos] = 1;
+  double sum = 0.0;
+  for (std::uint32_t pos = 0; pos < sequence.size(); ++pos) {
+    if (member[pos]) continue;
+    const double d = static_cast<double>(sequence[pos]) -
+                     static_cast<double>(other_rank[pos]);
+    sum += d < 0 ? -d : d;
+  }
+  if (on_lcs != nullptr) *on_lcs = std::move(member);
+  return sum;
+}
+
+}  // namespace
+
+Alignment align_trials(const Trial& a, const Trial& b) {
+  Alignment out;
+  out.size_a = a.size();
+  out.size_b = b.size();
+
+  std::unordered_map<PacketId, std::uint32_t, PacketIdHash> index_in_a;
+  index_in_a.reserve(a.size());
+  for (std::uint32_t j = 0; j < a.size(); ++j) {
+    const bool inserted = index_in_a.emplace(a[j].id, j).second;
+    CHOIR_EXPECT(inserted, "trial A contains duplicate packet ids");
+  }
+
+  out.matches.reserve(b.size());
+  {
+    std::unordered_map<PacketId, bool, PacketIdHash> seen_b;
+    seen_b.reserve(b.size());
+    for (std::uint32_t k = 0; k < b.size(); ++k) {
+      CHOIR_EXPECT(seen_b.emplace(b[k].id, true).second,
+                   "trial B contains duplicate packet ids");
+      const auto it = index_in_a.find(b[k].id);
+      if (it == index_in_a.end()) continue;
+      MatchedPacket m;
+      m.index_a = it->second;
+      m.index_b = k;
+      out.matches.push_back(m);
+    }
+  }
+  const std::uint32_t m = static_cast<std::uint32_t>(out.matches.size());
+  if (m == 0) return out;
+
+  // Ranks within the common subsequence. rank_b is simply the match
+  // position (matches are in B order); rank_a orders the same packets by
+  // their position in A. Displacements are measured in ranks, not raw
+  // trial indices: the minimum edit script moves packets within the
+  // common permutation (insertions of B-only packets are separate edits
+  // covered by U), and ranks give the proven maximum of Eq. 2 (a reversal,
+  // the Spearman-footrule worst case).
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return out.matches[x].index_a < out.matches[y].index_a;
+            });
+  for (std::uint32_t rank = 0; rank < m; ++rank) {
+    out.matches[order[rank]].rank_a = rank;
+  }
+  for (std::uint32_t k = 0; k < m; ++k) out.matches[k].rank_b = k;
+
+  // The maximal LCS is not unique; which packets count as "moved" depends
+  // on the one chosen. Evaluating the LIS from both directions and
+  // keeping the cheaper partition makes the metric symmetric
+  // (O_AB = O_BA, as Eq. 2 requires) and no larger than either greedy
+  // choice.
+  std::vector<std::uint32_t> rank_a_in_b_order(m);
+  std::vector<std::uint32_t> rank_b_in_b_order(m);
+  for (std::uint32_t k = 0; k < m; ++k) {
+    rank_a_in_b_order[k] = out.matches[k].rank_a;
+    rank_b_in_b_order[k] = out.matches[k].rank_b;
+  }
+  std::vector<std::uint32_t> rank_b_in_a_order(m);
+  std::vector<std::uint32_t> rank_a_in_a_order(m);
+  for (std::uint32_t rank = 0; rank < m; ++rank) {
+    rank_b_in_a_order[rank] = out.matches[order[rank]].rank_b;
+    rank_a_in_a_order[rank] = rank;
+  }
+
+  std::vector<char> forward_lcs;
+  const double forward =
+      off_lcs_displacement(rank_a_in_b_order, rank_b_in_b_order, &forward_lcs);
+  std::vector<char> backward_lcs_in_a;
+  const double backward = off_lcs_displacement(
+      rank_b_in_a_order, rank_a_in_a_order, &backward_lcs_in_a);
+
+  // Adopt the cheaper partition's membership flags (translated to B
+  // order when the backward direction won).
+  std::vector<char> member(m, 0);
+  if (forward <= backward) {
+    member = std::move(forward_lcs);
+  } else {
+    for (std::uint32_t rank = 0; rank < m; ++rank) {
+      if (backward_lcs_in_a[rank]) member[order[rank]] = 1;
+    }
+  }
+  out.lcs_length = 0;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    out.matches[k].on_lcs = member[k] != 0;
+    out.lcs_length += member[k] ? 1u : 0u;
+  }
+
+  out.moves.reserve(m - out.lcs_length);
+  for (const MatchedPacket& match : out.matches) {
+    if (match.on_lcs) continue;
+    Move mv;
+    mv.index_b = match.index_b;
+    mv.index_a = match.index_a;
+    mv.displacement = static_cast<std::int64_t>(match.rank_a) -
+                      static_cast<std::int64_t>(match.rank_b);
+    out.moves.push_back(mv);
+  }
+  return out;
+}
+
+}  // namespace choir::core

@@ -1,0 +1,57 @@
+#include "core/lis.hpp"
+
+#include <algorithm>
+
+namespace choir::core {
+
+std::vector<std::uint32_t> longest_increasing_subsequence(
+    const std::vector<std::uint32_t>& values) {
+  const std::size_t n = values.size();
+  if (n == 0) return {};
+
+  // tails[k] = position of the smallest value ending an increasing
+  // subsequence of length k+1; parent[i] = predecessor position of i in
+  // the best subsequence ending at i.
+  std::vector<std::uint32_t> tails;
+  std::vector<std::uint32_t> parent(n, UINT32_MAX);
+  tails.reserve(n);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t v = values[i];
+    auto it = std::lower_bound(
+        tails.begin(), tails.end(), v,
+        [&](std::uint32_t pos, std::uint32_t value) { return values[pos] < value; });
+    if (it != tails.begin()) parent[i] = *(it - 1);
+    if (it == tails.end()) {
+      tails.push_back(i);
+    } else {
+      *it = i;
+    }
+  }
+
+  std::vector<std::uint32_t> result(tails.size());
+  std::uint32_t cur = tails.back();
+  for (std::size_t k = tails.size(); k-- > 0;) {
+    result[k] = cur;
+    cur = parent[cur];
+  }
+  return result;
+}
+
+std::size_t lis_length(const std::vector<std::uint32_t>& values) {
+  std::vector<std::uint32_t> tails;
+  tails.reserve(values.size());
+  for (const std::uint32_t v : values) {
+    auto it = std::lower_bound(
+        tails.begin(), tails.end(), v,
+        [](std::uint32_t a, std::uint32_t b) { return a < b; });
+    if (it == tails.end()) {
+      tails.push_back(v);
+    } else {
+      *it = v;
+    }
+  }
+  return tails.size();
+}
+
+}  // namespace choir::core

@@ -1,0 +1,23 @@
+// Longest (strictly) increasing subsequence in O(n log n).
+//
+// Section 3 computes the Longest Common Subsequence of two trials by
+// mapping trial B's packets to their indices in trial A and taking the
+// LIS of that index sequence (Schensted's construction) — valid because
+// each trial is a permutation of unique packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace choir::core {
+
+/// Returns the positions (into `values`) of one longest strictly
+/// increasing subsequence, in increasing position order. Patience sorting
+/// with parent links.
+std::vector<std::uint32_t> longest_increasing_subsequence(
+    const std::vector<std::uint32_t>& values);
+
+/// Convenience: just the LIS length.
+std::size_t lis_length(const std::vector<std::uint32_t>& values);
+
+}  // namespace choir::core

@@ -1,0 +1,76 @@
+#include "core/reordering.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace choir::core {
+
+ReorderBySpacing reorder_probability_by_spacing(const Alignment& alignment,
+                                                std::uint32_t max_spacing) {
+  CHOIR_EXPECT(max_spacing >= 1, "need a positive spacing range");
+  ReorderBySpacing out;
+  const std::uint32_t m = static_cast<std::uint32_t>(alignment.common());
+  out.probability.assign(max_spacing, 0.0);
+  if (m < 2) return out;
+
+  // rank_b indexed by rank_a: the permutation the receiver applied.
+  std::vector<std::uint32_t> rank_b_of_a(m);
+  for (const MatchedPacket& match : alignment.matches) {
+    rank_b_of_a[match.rank_a] = match.rank_b;
+  }
+
+  std::vector<std::uint64_t> examined(max_spacing, 0);
+  std::vector<std::uint64_t> reordered(max_spacing, 0);
+  for (std::uint32_t k = 1; k <= max_spacing; ++k) {
+    for (std::uint32_t i = 0; i + k < m; ++i) {
+      ++examined[k - 1];
+      if (rank_b_of_a[i] > rank_b_of_a[i + k]) ++reordered[k - 1];
+    }
+  }
+  for (std::uint32_t k = 0; k < max_spacing; ++k) {
+    out.pairs_examined += examined[k];
+    out.pairs_reordered += reordered[k];
+    out.probability[k] =
+        examined[k] > 0
+            ? static_cast<double>(reordered[k]) /
+                  static_cast<double>(examined[k])
+            : 0.0;
+  }
+  return out;
+}
+
+std::vector<MoveBlock> coalesce_move_blocks(const Alignment& alignment,
+                                            const BlockRules& rules) {
+  std::vector<MoveBlock> blocks;
+  std::int64_t prev_displacement = 0;
+  for (const Move& mv : alignment.moves) {
+    if (!blocks.empty()) {
+      MoveBlock& last = blocks.back();
+      const std::int64_t d_delta = mv.displacement - prev_displacement;
+      if (mv.index_b - last.last_index_b <= rules.max_gap &&
+          std::abs(d_delta) <= rules.displacement_tolerance) {
+        ++last.length;
+        last.last_index_b = mv.index_b;
+        prev_displacement = mv.displacement;
+        continue;
+      }
+    }
+    blocks.push_back(MoveBlock{mv.index_b, mv.index_b, 1, mv.displacement});
+    prev_displacement = mv.displacement;
+  }
+  return blocks;
+}
+
+double block_move_fraction(const Alignment& alignment,
+                           std::uint32_t min_block, const BlockRules& rules) {
+  if (alignment.moves.empty()) return 1.0;
+  std::uint64_t in_blocks = 0;
+  for (const MoveBlock& block : coalesce_move_blocks(alignment, rules)) {
+    if (block.length >= min_block) in_blocks += block.length;
+  }
+  return static_cast<double>(in_blocks) /
+         static_cast<double>(alignment.moves.size());
+}
+
+}  // namespace choir::core

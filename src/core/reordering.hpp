@@ -1,0 +1,58 @@
+// Reordering analysis beyond the single O number.
+//
+// Section 9 points to Bellardo & Savage's metric — reordering expressed
+// as a probability as a function of inter-packet spacing — and notes that
+// Choir's move distances "could also be shown as a function of spacing".
+// This module provides that view, plus the block-movement decomposition
+// the paper uses informally in Section 6.2 ("most packets that move are
+// moved as whole bursts... with identical distances").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edit_script.hpp"
+
+namespace choir::core {
+
+/// P(pair reordered | pair spacing) for spacing = 1..max_spacing, where a
+/// pair (i, i+k) of common packets (by A rank) is "reordered" if their
+/// relative order differs in B. Matches Bellardo-Savage's per-spacing
+/// probabilities computed on our aligned trials.
+struct ReorderBySpacing {
+  std::vector<double> probability;  ///< index k-1 holds spacing k
+  std::uint64_t pairs_examined = 0;
+  std::uint64_t pairs_reordered = 0;
+};
+
+ReorderBySpacing reorder_probability_by_spacing(const Alignment& alignment,
+                                                std::uint32_t max_spacing);
+
+/// Runs of moved packets travelling together — the "whole bursts move
+/// together" structure. Successive moves (in B order) join a block when
+/// they sit within `max_gap` positions of each other and their
+/// displacements differ by at most `displacement_tolerance` (moved
+/// packets from one stream interleave with the other stream's anchored
+/// packets, so strict adjacency would shatter real bursts).
+struct MoveBlock {
+  std::uint32_t first_index_b = 0;
+  std::uint32_t last_index_b = 0;
+  std::uint32_t length = 0;           ///< moved packets in the block
+  std::int64_t displacement = 0;      ///< displacement of the first move
+};
+
+struct BlockRules {
+  std::uint32_t max_gap = 4;
+  std::int64_t displacement_tolerance = 1;
+};
+
+std::vector<MoveBlock> coalesce_move_blocks(const Alignment& alignment,
+                                            const BlockRules& rules = {});
+
+/// Fraction of moved packets that travel inside blocks of at least
+/// `min_block` packets. 1.0 = all reordering is block movement.
+double block_move_fraction(const Alignment& alignment,
+                           std::uint32_t min_block = 2,
+                           const BlockRules& rules = {});
+
+}  // namespace choir::core

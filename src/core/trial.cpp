@@ -1,0 +1,33 @@
+#include "core/trial.hpp"
+
+#include <unordered_map>
+
+namespace choir::core {
+
+std::size_t Trial::make_occurrences_unique() {
+  std::unordered_map<PacketId, std::uint64_t, PacketIdHash> counts;
+  counts.reserve(packets_.size());
+  std::size_t rewritten = 0;
+  for (auto& p : packets_) {
+    const std::uint64_t occurrence = counts[p.id]++;
+    if (occurrence > 0) {
+      // Fold the occurrence number into the identity. The mix constant
+      // keeps derived ids disjoint from natural trailer values.
+      p.id.hi ^= occurrence * 0xd6e8feb86659fd93ULL;
+      p.id.lo ^= occurrence;
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+bool Trial::ids_unique() const {
+  std::unordered_map<PacketId, bool, PacketIdHash> seen;
+  seen.reserve(packets_.size());
+  for (const auto& p : packets_) {
+    if (!seen.emplace(p.id, true).second) return false;
+  }
+  return true;
+}
+
+}  // namespace choir::core

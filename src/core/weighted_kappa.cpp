@@ -1,0 +1,62 @@
+#include "core/weighted_kappa.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace choir::core {
+
+KappaScaling KappaScaling::presence_sensitive() {
+  KappaScaling s;
+  s.exponent_uniqueness = 0.5;
+  s.exponent_ordering = 0.5;
+  return s;
+}
+
+KappaScaling KappaScaling::range_equalized() {
+  KappaScaling s;
+  // Observed dynamic ranges across the paper's nine environments:
+  // U ~ 2e-4, O ~ 3e-2, L ~ 4e-4, I ~ 5e-1. Weighting by the inverse
+  // range (normalized so I keeps weight 1) lets each component move the
+  // score comparably when it moves across its observed range.
+  s.weight_uniqueness = 50.0;
+  s.weight_ordering = 15.0;
+  s.weight_latency = 100.0;
+  s.weight_iat = 1.0;
+  return s;
+}
+
+double scaled_kappa(double u, double o, double l, double i,
+                    const KappaScaling& scaling) {
+  const double weights[4] = {scaling.weight_uniqueness,
+                             scaling.weight_ordering,
+                             scaling.weight_latency, scaling.weight_iat};
+  const double exponents[4] = {
+      scaling.exponent_uniqueness, scaling.exponent_ordering,
+      scaling.exponent_latency, scaling.exponent_iat};
+  const double values[4] = {u, o, l, i};
+
+  double sum = 0.0;
+  double max_sum = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    CHOIR_EXPECT(weights[k] > 0.0, "kappa weights must be positive");
+    CHOIR_EXPECT(exponents[k] > 0.0 && exponents[k] <= 1.0,
+                 "kappa exponents must be in (0, 1]");
+    CHOIR_EXPECT(values[k] >= 0.0 && values[k] <= 1.0 + 1e-12,
+                 "kappa components must be normalized");
+    // x^e <= 1 for x in [0,1], e in (0,1]; the weighted worst case is
+    // all components at 1.
+    const double scaled = weights[k] * std::pow(values[k], exponents[k]);
+    sum += scaled * scaled;
+    max_sum += weights[k] * weights[k];
+  }
+  return 1.0 - std::sqrt(sum / max_sum);
+}
+
+double scaled_kappa(const ConsistencyMetrics& metrics,
+                    const KappaScaling& scaling) {
+  return scaled_kappa(metrics.uniqueness, metrics.ordering, metrics.latency,
+                      metrics.iat, scaling);
+}
+
+}  // namespace choir::core

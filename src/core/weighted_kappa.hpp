@@ -1,0 +1,59 @@
+// Refinements of the compound consistency score that the paper leaves to
+// future work (Sections 8.2 and 10):
+//
+//  - per-component *weights*, because in the measured environments the
+//    IAT term (varying within 1e-1) linearly overpowers the latency term
+//    (varying within 1e-5);
+//  - per-component *non-linear scalings*, so that the mere presence of
+//    drops (U) or reordering (O) — operationally alarming even when tiny
+//    — pulls the score down harder than a linear term can.
+//
+// The plain Eq. 5 kappa is the special case of unit weights and unit
+// exponents. A scaled score remains in [0, 1], equals 1 exactly when all
+// components are 0, and is monotone decreasing in every component.
+#pragma once
+
+#include "core/metrics.hpp"
+
+namespace choir::core {
+
+struct KappaScaling {
+  /// Component weights; the vector magnitude is normalized by the
+  /// weighted maximum, so only ratios matter. Must be > 0.
+  double weight_uniqueness = 1.0;
+  double weight_ordering = 1.0;
+  double weight_latency = 1.0;
+  double weight_iat = 1.0;
+
+  /// Component exponents in (0, 1]: x -> x^e before weighting. Exponents
+  /// below 1 amplify small values (x^0.5 turns a 1e-4 drop rate into
+  /// 1e-2), making "any inconsistency at all" matter.
+  double exponent_uniqueness = 1.0;
+  double exponent_ordering = 1.0;
+  double exponent_latency = 1.0;
+  double exponent_iat = 1.0;
+
+  /// The plain Eq. 5 score.
+  static KappaScaling linear() { return KappaScaling{}; }
+
+  /// Square-root scaling on U and O, per the paper's suggestion that the
+  /// presence of drops or reordering should weigh more than its size.
+  static KappaScaling presence_sensitive();
+
+  /// Weights that equalize the components' observed dynamic ranges in
+  /// the paper's evaluations (L varies within ~1e-5 of its range while I
+  /// uses ~0.5 of its range).
+  static KappaScaling range_equalized();
+};
+
+/// Scaled compound score in [0, 1]; 1 means complete consistency.
+/// Throws choir::Error for non-positive weights or exponents outside
+/// (0, 1].
+double scaled_kappa(const ConsistencyMetrics& metrics,
+                    const KappaScaling& scaling);
+
+/// Convenience over raw components.
+double scaled_kappa(double u, double o, double l, double i,
+                    const KappaScaling& scaling);
+
+}  // namespace choir::core

@@ -1,0 +1,114 @@
+// Traffic generators.
+//
+// CbrGenerator is the Pktgen-DPDK stand-in used by every paper
+// experiment: fixed-size frames at a constant bit rate, emitted through a
+// VF's paced-transmit path (Pktgen's rate control). PoissonGenerator and
+// ImixGenerator extend the library beyond the paper's workloads for the
+// examples and property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/nic.hpp"
+#include "pktio/headers.hpp"
+#include "pktio/mbuf.hpp"
+#include "sim/event_queue.hpp"
+
+namespace choir::gen {
+
+struct StreamConfig {
+  pktio::FlowAddress flow;
+  std::uint32_t stream_id = 0;      ///< written into the payload token
+  std::uint32_t frame_bytes = 1400; ///< the paper's evaluation frame size
+  BitsPerSec rate = gbps(40);
+  std::uint64_t count = 0;          ///< frames to emit
+  Ns start = 0;                     ///< wire time of the first frame
+  std::uint16_t burst = 32;         ///< frames prepared per event
+};
+
+/// Constant-bit-rate generator. Frame n is offered to the wire at
+/// start + n * gap, where gap is the exact per-frame serialization budget
+/// at the configured rate.
+class CbrGenerator {
+ public:
+  CbrGenerator(sim::EventQueue& queue, net::Vf& vf, pktio::Mempool& pool,
+               StreamConfig config);
+
+  void start();
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+  bool done() const { return emitted_ >= config_.count; }
+
+  /// Exact spacing between consecutive frames.
+  double gap_ns() const { return gap_ns_; }
+
+ private:
+  void emit_chunk();
+  Ns frame_time(std::uint64_t n) const {
+    return config_.start + static_cast<Ns>(gap_ns_ * static_cast<double>(n));
+  }
+
+  sim::EventQueue& queue_;
+  net::Vf& vf_;
+  pktio::Mempool& pool_;
+  StreamConfig config_;
+  double gap_ns_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+/// Poisson-arrival generator: same config, exponential gaps with the
+/// configured rate as the mean.
+class PoissonGenerator {
+ public:
+  PoissonGenerator(sim::EventQueue& queue, net::Vf& vf, pktio::Mempool& pool,
+                   StreamConfig config, Rng rng);
+
+  void start();
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit_next(Ns at);
+
+  sim::EventQueue& queue_;
+  net::Vf& vf_;
+  pktio::Mempool& pool_;
+  StreamConfig config_;
+  Rng rng_;
+  double mean_gap_ns_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Simple IMIX: 7:4:1 mix of 64/576/1500-byte frames at the configured
+/// aggregate bit rate.
+class ImixGenerator {
+ public:
+  ImixGenerator(sim::EventQueue& queue, net::Vf& vf, pktio::Mempool& pool,
+                StreamConfig config, Rng rng);
+
+  void start();
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit_next(Ns at);
+  std::uint32_t pick_size();
+
+  sim::EventQueue& queue_;
+  net::Vf& vf_;
+  pktio::Mempool& pool_;
+  StreamConfig config_;
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Shared helper: allocate and address one frame. Returns nullptr on pool
+/// exhaustion.
+pktio::Mbuf* make_frame(pktio::Mempool& pool, const StreamConfig& config,
+                        std::uint32_t frame_bytes, std::uint64_t sequence);
+
+}  // namespace choir::gen

@@ -1,0 +1,74 @@
+// Device-model configuration knobs.
+//
+// The mechanisms (DMA pull before serialization, stall-and-drain receive
+// batching, finite queues, timestamp noise, slow path-latency wander) are
+// fixed; environments differ only in these magnitudes. src/testbed
+// provides presets calibrated against the paper's reported metric bands —
+// see DESIGN.md section 4.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace choir::net {
+
+struct NicConfig {
+  BitsPerSec line_rate = gbps(100);
+
+  // --- TX path -----------------------------------------------------
+  /// Packets the physical egress may hold before tail-dropping.
+  std::size_t tx_queue_pkts = 2048;
+  /// Delay between the app notifying the NIC and the DMA pulling the
+  /// burst (Section 2.3 of the paper: packets are not pushed to the wire
+  /// immediately). Applied per burst.
+  Ns dma_pull_base = 250;
+  double dma_pull_jitter_sigma_ns = 40.0;
+
+  // --- RX path -----------------------------------------------------
+  /// Per-VF receive ring visible to the application.
+  std::size_t rx_ring_pkts = 8192;
+  /// Shared staging buffer on the physical function; overflow during a
+  /// stall is where noisy-environment drops come from.
+  std::size_t rx_buffer_pkts = 16384;
+
+  /// Virtualization-induced receive stalls: the datapath freezes for a
+  /// lognormal duration, arrivals queue, then drain back-to-back at line
+  /// rate. Order is preserved (this is why the paper sees wild IAT
+  /// variance on FABRIC with O = 0).
+  double stall_rate_hz = 0.0;       ///< mean stall events per second
+  double stall_mu_log_ns = 0.0;     ///< lognormal mu of stall duration (ns)
+  double stall_sigma_log = 0.0;     ///< lognormal sigma
+  /// Ceiling on a single stall (schedulers bound how long a vCPU can be
+  /// held off). 0 = unbounded.
+  Ns stall_max_ns = 0;
+
+  // --- Timestamping --------------------------------------------------
+  /// Gaussian timestamp read noise (1 sigma). An Intel E810-style
+  /// realtime HW stamp is ~1-2 ns; a ConnectX-6 sampled-clock conversion
+  /// is several times that.
+  double ts_noise_sigma_ns = 1.5;
+  /// Timestamp resolution.
+  Ns ts_quantum_ns = 1;
+
+  // --- Path latency wander -------------------------------------------
+  /// Slow mean-reverting wander of apparent path latency (thermal /
+  /// scheduling / clock-servo effects). Drives the paper's L metric;
+  /// too slow to disturb IATs or ordering.
+  double wander_sigma_ns = 0.0;     ///< stationary amplitude (1 sigma)
+  Ns wander_interval = milliseconds(10);
+  double wander_rho = 0.7;          ///< AR(1) persistence per interval
+};
+
+struct SwitchConfig {
+  BitsPerSec port_rate = gbps(100);
+  std::size_t port_queue_pkts = 4096;
+  Ns processing_delay = 450;        ///< pipeline latency, store-and-forward
+  double processing_jitter_sigma_ns = 5.0;
+};
+
+struct LinkConfig {
+  Ns propagation = 50;              ///< a few metres of fibre
+};
+
+}  // namespace choir::net

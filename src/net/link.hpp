@@ -1,0 +1,50 @@
+// Point-to-point link and the endpoint interface devices implement.
+#pragma once
+
+#include "common/units.hpp"
+#include "net/config.hpp"
+#include "pktio/mbuf.hpp"
+#include "sim/event_queue.hpp"
+
+namespace choir::net {
+
+/// Anything a link can deliver frames to (a NIC's receive side, a switch
+/// port). `wire_time` is when the last bit arrived (store-and-forward).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(pktio::Mbuf* pkt, Ns wire_time) = 0;
+};
+
+/// Unidirectional link. The transmit side (TxPort) calls send() at the
+/// instant the last bit leaves the wire; propagation delay is added here.
+class Link {
+ public:
+  Link(sim::EventQueue& queue, LinkConfig config = {})
+      : queue_(queue), config_(config) {}
+
+  void connect(Endpoint& sink) { sink_ = &sink; }
+  bool connected() const { return sink_ != nullptr; }
+
+  void send(pktio::Mbuf* pkt, Ns wire_departure) {
+    // Unconnected links blackhole traffic, like an unplugged cable.
+    if (sink_ == nullptr) {
+      pktio::Mempool::release(pkt);
+      return;
+    }
+    Endpoint* sink = sink_;
+    queue_.schedule_at(wire_departure + config_.propagation,
+                       [sink, pkt, t = wire_departure + config_.propagation] {
+                         sink->deliver(pkt, t);
+                       });
+  }
+
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  sim::EventQueue& queue_;
+  LinkConfig config_;
+  Endpoint* sink_ = nullptr;
+};
+
+}  // namespace choir::net

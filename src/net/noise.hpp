@@ -1,0 +1,65 @@
+// Background-load source: the simulated counterpart of the paper's
+// co-located iperf3 client (8 TCP streams) used in Section 7.1.
+//
+// The aggregate offered rate random-walks inside a [min, max] envelope
+// ("the iperf3 stream bounced between 35 Gbps and 50 Gbps") and is
+// emitted as kernel-stack-style bursts through a VF on the *same*
+// physical NIC the experiment uses, so all contention happens in the
+// shared TxPort / RxPipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/nic.hpp"
+#include "pktio/headers.hpp"
+#include "pktio/mbuf.hpp"
+#include "sim/event_queue.hpp"
+
+namespace choir::net {
+
+struct NoiseConfig {
+  BitsPerSec min_rate = gbps(35);
+  BitsPerSec max_rate = gbps(50);
+  std::uint32_t frame_bytes = 1514;
+  std::uint16_t burst = 32;             ///< frames per emission
+  Ns rate_update_interval = milliseconds(10);
+  double rate_step_fraction = 0.10;     ///< random-walk step, of envelope
+  double burst_jitter_sigma = 0.25;     ///< lognormal sigma on burst gaps
+};
+
+class NoiseSource {
+ public:
+  NoiseSource(sim::EventQueue& queue, Vf& vf, pktio::Mempool& pool,
+              pktio::FlowAddress flow, NoiseConfig config, Rng rng)
+      : queue_(queue), vf_(vf), pool_(pool), flow_(flow), config_(config),
+        rng_(rng.split(0x4e4f)) {
+    rate_ = rng_.uniform(config_.min_rate, config_.max_rate);
+  }
+
+  /// Start emitting at `at`, stop at `until`.
+  void run(Ns at, Ns until);
+
+  std::uint64_t frames_emitted() const { return frames_; }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+  BitsPerSec current_rate() const { return rate_; }
+
+ private:
+  void emit_burst();
+  void update_rate();
+
+  sim::EventQueue& queue_;
+  Vf& vf_;
+  pktio::Mempool& pool_;
+  pktio::FlowAddress flow_;
+  NoiseConfig config_;
+  Rng rng_;
+  BitsPerSec rate_ = 0;
+  Ns stop_at_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t alloc_failures_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace choir::net

@@ -1,0 +1,204 @@
+#include "net/ptp_protocol.hpp"
+
+#include <cmath>
+
+namespace choir::net {
+
+namespace {
+constexpr std::uint16_t kPtpMagic = 0x1588;
+
+pktio::FlowAddress reversed(const pktio::FlowAddress& flow) {
+  pktio::FlowAddress r;
+  r.src_mac = flow.dst_mac;
+  r.dst_mac = flow.src_mac;
+  r.src_ip = flow.dst_ip;
+  r.dst_ip = flow.src_ip;
+  r.src_port = flow.dst_port;
+  r.dst_port = flow.src_port;
+  return r;
+}
+}  // namespace
+
+void encode_ptp(pktio::Frame& frame, const pktio::FlowAddress& flow,
+                const PtpMessage& message) {
+  pktio::FlowAddress addressed = flow;
+  addressed.dst_port = kPtpEventPort;
+  addressed.src_port = kPtpEventPort;
+  frame.wire_len = 86;  // SYNC-sized event message
+  pktio::write_eth_ipv4_udp(frame, addressed);
+
+  frame.has_trailer = true;
+  auto& t = frame.trailer;
+  t.fill(0);
+  t[0] = static_cast<std::uint8_t>(kPtpMagic >> 8);
+  t[1] = static_cast<std::uint8_t>(kPtpMagic & 0xff);
+  t[2] = static_cast<std::uint8_t>(message.type);
+  t[3] = static_cast<std::uint8_t>(message.sequence >> 8);
+  t[4] = static_cast<std::uint8_t>(message.sequence & 0xff);
+  const auto ts = static_cast<std::uint64_t>(message.origin_timestamp);
+  for (int i = 0; i < 8; ++i) {
+    t[5 + i] = static_cast<std::uint8_t>(ts >> (56 - 8 * i));
+  }
+}
+
+std::optional<PtpMessage> decode_ptp(const pktio::Frame& frame) {
+  const auto parsed = pktio::parse_eth_ipv4_udp(frame);
+  if (!parsed.valid || parsed.flow.dst_port != kPtpEventPort ||
+      !frame.has_trailer) {
+    return std::nullopt;
+  }
+  const auto& t = frame.trailer;
+  if (static_cast<std::uint16_t>((t[0] << 8) | t[1]) != kPtpMagic) {
+    return std::nullopt;
+  }
+  PtpMessage message;
+  message.type = static_cast<PtpMessageType>(t[2]);
+  message.sequence = static_cast<std::uint16_t>((t[3] << 8) | t[4]);
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 8; ++i) ts = (ts << 8) | t[5 + i];
+  message.origin_timestamp = static_cast<Ns>(ts);
+  return message;
+}
+
+// --- PtpMaster ----------------------------------------------------------
+
+PtpMaster::PtpMaster(sim::EventQueue& queue, sim::NodeClock& clock, Vf& vf,
+                     pktio::Mempool& pool, pktio::FlowAddress flow,
+                     Config config, Rng rng)
+    : queue_(queue), clock_(clock), vf_(vf), pool_(pool), flow_(flow),
+      config_(config), rng_(rng.split(0x504d)),
+      loop_(queue, vf, PollLoopConfig{}, rng.split(0x504c4d)) {
+  loop_.set_handler([this] { return poll(); });
+}
+
+Ns PtpMaster::stamped_now() {
+  const double noise = config_.stamp_sigma_ns > 0.0
+                           ? rng_.normal(0.0, config_.stamp_sigma_ns)
+                           : 0.0;
+  return clock_.system.read(queue_.now()) + static_cast<Ns>(noise);
+}
+
+void PtpMaster::send(const pktio::FlowAddress& flow,
+                     const PtpMessage& message) {
+  pktio::Mbuf* m = pool_.alloc();
+  if (m == nullptr) return;
+  encode_ptp(m->frame, flow, message);
+  pktio::Mbuf* one[1] = {m};
+  if (vf_.backend_tx(one, 1) != 1) pktio::Mempool::release(m);
+}
+
+void PtpMaster::start() {
+  loop_.start();
+  emit_sync();
+}
+
+void PtpMaster::emit_sync() {
+  const std::uint16_t seq = sequence_++;
+  // Two-step: SYNC goes first; the precise departure stamp travels in
+  // the FOLLOW_UP.
+  const Ns t1 = stamped_now();
+  send(flow_, PtpMessage{PtpMessageType::kSync, seq, 0});
+  send(flow_, PtpMessage{PtpMessageType::kFollowUp, seq, t1});
+  ++syncs_;
+  queue_.schedule_in(config_.sync_interval, [this] { emit_sync(); });
+}
+
+bool PtpMaster::poll() {
+  pktio::Mbuf* burst[pktio::kMaxBurst];
+  const std::uint16_t n = vf_.backend_rx(burst, pktio::kMaxBurst);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    if (const auto message = decode_ptp(burst[i]->frame);
+        message && message->type == PtpMessageType::kDelayReq) {
+      const Ns t4 = stamped_now();
+      const auto parsed = pktio::parse_eth_ipv4_udp(burst[i]->frame);
+      pktio::FlowAddress back = flow_;
+      if (parsed.valid) back = reversed(parsed.flow);
+      send(back,
+           PtpMessage{PtpMessageType::kDelayResp, message->sequence, t4});
+      ++delay_resps_;
+    }
+    pktio::Mempool::release(burst[i]);
+  }
+  return n > 0;
+}
+
+// --- PtpSlave -----------------------------------------------------------
+
+PtpSlave::PtpSlave(sim::EventQueue& queue, sim::NodeClock& clock, Vf& vf,
+                   pktio::Mempool& pool, pktio::FlowAddress flow_to_master,
+                   Config config, Rng rng)
+    : queue_(queue), clock_(clock), vf_(vf), pool_(pool),
+      flow_(flow_to_master), config_(config), rng_(rng.split(0x5053)),
+      loop_(queue, vf, PollLoopConfig{}, rng.split(0x504c53)) {
+  loop_.set_handler([this] { return poll(); });
+}
+
+Ns PtpSlave::stamped_now() {
+  const double noise = config_.stamp_sigma_ns > 0.0
+                           ? rng_.normal(0.0, config_.stamp_sigma_ns)
+                           : 0.0;
+  return clock_.system.read(queue_.now()) + static_cast<Ns>(noise);
+}
+
+void PtpSlave::send(const PtpMessage& message) {
+  pktio::Mbuf* m = pool_.alloc();
+  if (m == nullptr) return;
+  encode_ptp(m->frame, flow_, message);
+  pktio::Mbuf* one[1] = {m};
+  if (vf_.backend_tx(one, 1) != 1) pktio::Mempool::release(m);
+}
+
+void PtpSlave::start() { loop_.start(); }
+
+bool PtpSlave::poll() {
+  pktio::Mbuf* burst[pktio::kMaxBurst];
+  const std::uint16_t n = vf_.backend_rx(burst, pktio::kMaxBurst);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    if (const auto message = decode_ptp(burst[i]->frame)) {
+      handle(*message);
+    }
+    pktio::Mempool::release(burst[i]);
+  }
+  return n > 0;
+}
+
+void PtpSlave::handle(const PtpMessage& message) {
+  switch (message.type) {
+    case PtpMessageType::kSync:
+      t2_ = stamped_now();
+      sync_sequence_ = message.sequence;
+      have_sync_ = true;
+      break;
+    case PtpMessageType::kFollowUp: {
+      if (!have_sync_ || message.sequence != sync_sequence_) break;
+      t1_ = message.origin_timestamp;
+      t3_ = stamped_now();
+      send(PtpMessage{PtpMessageType::kDelayReq, sync_sequence_, 0});
+      break;
+    }
+    case PtpMessageType::kDelayResp: {
+      if (!have_sync_ || message.sequence != sync_sequence_) break;
+      have_sync_ = false;
+      const Ns t4 = message.origin_timestamp;
+      const double ms_leg = static_cast<double>(t2_ - t1_);
+      const double sm_leg = static_cast<double>(t4 - t3_);
+      const double offset = (ms_leg - sm_leg) / 2.0;  // slave - master
+      const double delay = (ms_leg + sm_leg) / 2.0;
+      last_offset_ = offset;
+      last_delay_ = delay;
+      abs_offset_sum_ += std::abs(offset);
+      ++exchanges_;
+      // Proportional servo: pull the clock by a fraction of the
+      // measured offset.
+      const Ns now = queue_.now();
+      clock_.system.set_offset(
+          now, clock_.system.current_offset(now) -
+                   config_.servo_gain * offset);
+      break;
+    }
+    case PtpMessageType::kDelayReq:
+      break;  // not our role
+  }
+}
+
+}  // namespace choir::net

@@ -1,0 +1,151 @@
+// Message-level PTP (IEEE 1588 two-step, end-to-end delay mechanism).
+//
+// sim/ptp.hpp models the whole servo as a residual distribution — right
+// for ptp_kvm against a GPS-fed host. The paper's *local* testbed instead
+// runs PTP in-band between the generator (grandmaster) and the replay
+// nodes, where sync quality is set by the actual message exchange over
+// the shared data path. This module implements that exchange:
+//
+//   master                     slave
+//     |--- SYNC (t1 taken) ----->|  t2 = arrival (slave clock)
+//     |--- FOLLOW_UP { t1 } ---->|
+//     |<-- DELAY_REQ ------------|  t3 = departure (slave clock)
+//     |--- DELAY_RESP { t4 } --->|  t4 = arrival (master clock)
+//
+//   offset = ((t2 - t1) - (t4 - t3)) / 2
+//   delay  = ((t2 - t1) + (t4 - t3)) / 2
+//
+// The classic failure mode — asymmetric path delay biasing the offset by
+// half the asymmetry — emerges naturally, as do jitter-driven sync
+// wander and the effect of cross traffic on in-band synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/nic.hpp"
+#include "net/poll_loop.hpp"
+#include "pktio/headers.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace choir::net {
+
+inline constexpr std::uint16_t kPtpEventPort = 319;  ///< IEEE 1588 / UDP
+
+enum class PtpMessageType : std::uint8_t {
+  kSync = 0x0,
+  kFollowUp = 0x8,
+  kDelayReq = 0x1,
+  kDelayResp = 0x9,
+};
+
+struct PtpMessage {
+  PtpMessageType type = PtpMessageType::kSync;
+  std::uint16_t sequence = 0;
+  Ns origin_timestamp = 0;  ///< t1 in FOLLOW_UP, t4 in DELAY_RESP
+};
+
+/// Encode/decode a PTP message into a frame (UDP event port, trailer
+/// payload — mirroring the Choir control-plane encoding).
+void encode_ptp(pktio::Frame& frame, const pktio::FlowAddress& flow,
+                const PtpMessage& message);
+std::optional<PtpMessage> decode_ptp(const pktio::Frame& frame);
+
+/// Grandmaster: emits SYNC/FOLLOW_UP pairs at a fixed cadence and
+/// answers DELAY_REQ with DELAY_RESP. Drives (and reads timestamps from)
+/// its node's system clock.
+class PtpMaster {
+ public:
+  struct Config {
+    Ns sync_interval = milliseconds(125);
+    /// Software timestamping error when reading "now" at send/receive
+    /// (hardware-assisted stamping would be ~0).
+    double stamp_sigma_ns = 15.0;
+  };
+
+  PtpMaster(sim::EventQueue& queue, sim::NodeClock& clock, Vf& vf,
+            pktio::Mempool& pool, pktio::FlowAddress flow, Config config,
+            Rng rng);
+
+  /// Begin the sync cycle and service DELAY_REQs (polls the VF).
+  void start();
+
+  std::uint64_t syncs_sent() const { return syncs_; }
+  std::uint64_t delay_reqs_answered() const { return delay_resps_; }
+
+ private:
+  void emit_sync();
+  bool poll();
+  Ns stamped_now();
+  void send(const pktio::FlowAddress& flow, const PtpMessage& message);
+
+  sim::EventQueue& queue_;
+  sim::NodeClock& clock_;
+  Vf& vf_;
+  pktio::Mempool& pool_;
+  pktio::FlowAddress flow_;
+  Config config_;
+  Rng rng_;
+  PollLoop loop_;
+  std::uint16_t sequence_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t delay_resps_ = 0;
+};
+
+/// Slave: consumes SYNC/FOLLOW_UP, issues DELAY_REQ, and disciplines its
+/// node's system clock with the measured offset through a proportional
+/// servo.
+class PtpSlave {
+ public:
+  struct Config {
+    double stamp_sigma_ns = 15.0;
+    /// Fraction of the measured offset corrected per exchange (1 = jump).
+    double servo_gain = 0.7;
+  };
+
+  PtpSlave(sim::EventQueue& queue, sim::NodeClock& clock, Vf& vf,
+           pktio::Mempool& pool, pktio::FlowAddress flow_to_master,
+           Config config, Rng rng);
+
+  void start();
+
+  std::uint64_t exchanges_completed() const { return exchanges_; }
+  double last_offset_ns() const { return last_offset_; }
+  double last_path_delay_ns() const { return last_delay_; }
+  /// Most recent |offset| estimates' running mean (sync quality).
+  double mean_abs_offset_ns() const {
+    return exchanges_ > 0 ? abs_offset_sum_ / static_cast<double>(exchanges_)
+                          : 0.0;
+  }
+
+ private:
+  bool poll();
+  void handle(const PtpMessage& message);
+  Ns stamped_now();
+  void send(const PtpMessage& message);
+
+  sim::EventQueue& queue_;
+  sim::NodeClock& clock_;
+  Vf& vf_;
+  pktio::Mempool& pool_;
+  pktio::FlowAddress flow_;
+  Config config_;
+  Rng rng_;
+  PollLoop loop_;
+
+  // Exchange state.
+  std::uint16_t sync_sequence_ = 0;
+  Ns t1_ = 0, t2_ = 0, t3_ = 0;
+  bool have_sync_ = false;
+
+  std::uint64_t exchanges_ = 0;
+  double last_offset_ = 0.0;
+  double last_delay_ = 0.0;
+  double abs_offset_sum_ = 0.0;
+};
+
+}  // namespace choir::net

@@ -1,0 +1,63 @@
+// Slow path-latency wander: a mean-reverting AR(1) process, linearly
+// interpolated between updates.
+//
+// This models the micro-scale drift real paths show between runs
+// (thermal effects, clock servo settling, scheduler placement). It is
+// what gives two otherwise identical replays different latency profiles
+// (the paper's L metric) while being far too slow to disturb packet
+// ordering or neighbouring IATs.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace choir::net {
+
+class WanderProcess {
+ public:
+  /// `sigma` is the stationary amplitude (ns, 1 sigma); `rho` the AR(1)
+  /// persistence per `interval`. sigma == 0 disables the process.
+  WanderProcess(double sigma_ns, double rho, Ns interval, Rng rng)
+      : sigma_(sigma_ns),
+        rho_(rho),
+        interval_(interval > 0 ? interval : 1),
+        rng_(rng) {
+    if (sigma_ > 0.0) {
+      prev_ = rng_.normal(0.0, sigma_);
+      next_ = step(prev_);
+    }
+  }
+
+  /// Wander value (ns) at absolute time t. Must be called with
+  /// non-decreasing t (the simulator guarantees this per device).
+  double value(Ns t) {
+    if (sigma_ <= 0.0) return 0.0;
+    while (t >= epoch_ + interval_) {
+      epoch_ += interval_;
+      prev_ = next_;
+      next_ = step(prev_);
+    }
+    const double frac =
+        static_cast<double>(t - epoch_) / static_cast<double>(interval_);
+    return prev_ + (next_ - prev_) * frac;
+  }
+
+ private:
+  double step(double current) {
+    const double innovation_sigma =
+        sigma_ * std::sqrt(1.0 - rho_ * rho_);
+    return rho_ * current + rng_.normal(0.0, innovation_sigma);
+  }
+
+  double sigma_;
+  double rho_;
+  Ns interval_;
+  Rng rng_;
+  Ns epoch_ = 0;
+  double prev_ = 0.0;
+  double next_ = 0.0;
+};
+
+}  // namespace choir::net

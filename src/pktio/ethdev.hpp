@@ -1,0 +1,78 @@
+// Port abstraction: DPDK's rte_eth burst API over a pluggable backend.
+//
+// Applications (Choir, the generators, the recorder) speak rx_burst /
+// tx_burst against an EthDev and never see the device model behind it.
+// The backend — a simulated NIC, a loopback, a test double — supplies the
+// actual packet motion and timing. This mirrors how a DPDK app is
+// insulated from the PMD under it, and is what lets the whole application
+// layer be tested without the network simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pktio/mbuf.hpp"
+
+namespace choir::pktio {
+
+/// Maximum burst size Choir uses, per the paper's implementation section.
+inline constexpr std::uint16_t kMaxBurst = 64;
+
+/// Device-model side of a port.
+class PortBackend {
+ public:
+  virtual ~PortBackend() = default;
+
+  /// Accept up to n buffers for transmission; returns how many the device
+  /// took (the rest stay with the caller, as with rte_eth_tx_burst).
+  virtual std::uint16_t backend_tx(Mbuf* const* pkts, std::uint16_t n) = 0;
+
+  /// Produce up to n received buffers.
+  virtual std::uint16_t backend_rx(Mbuf** pkts, std::uint16_t n) = 0;
+};
+
+struct EthDevStats {
+  std::uint64_t ipackets = 0;  ///< delivered to the application
+  std::uint64_t opackets = 0;  ///< accepted for transmit
+  std::uint64_t ibytes = 0;
+  std::uint64_t obytes = 0;
+  std::uint64_t tx_rejected = 0;  ///< offered but not accepted by device
+};
+
+class EthDev {
+ public:
+  EthDev(std::string name, PortBackend& backend)
+      : name_(std::move(name)), backend_(&backend) {}
+
+  /// Receive a burst; fills pkts[0..ret) and updates stats.
+  std::uint16_t rx_burst(Mbuf** pkts, std::uint16_t n) {
+    const std::uint16_t got = backend_->backend_rx(pkts, n);
+    for (std::uint16_t i = 0; i < got; ++i) {
+      ++stats_.ipackets;
+      stats_.ibytes += pkts[i]->frame.wire_len;
+    }
+    return got;
+  }
+
+  /// Transmit a burst; returns how many buffers the device accepted.
+  /// Ownership of accepted buffers passes to the device.
+  std::uint16_t tx_burst(Mbuf* const* pkts, std::uint16_t n) {
+    const std::uint16_t sent = backend_->backend_tx(pkts, n);
+    for (std::uint16_t i = 0; i < sent; ++i) {
+      ++stats_.opackets;
+      stats_.obytes += pkts[i]->frame.wire_len;
+    }
+    stats_.tx_rejected += n - sent;
+    return sent;
+  }
+
+  const EthDevStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  PortBackend* backend_;
+  EthDevStats stats_;
+};
+
+}  // namespace choir::pktio

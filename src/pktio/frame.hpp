@@ -1,0 +1,40 @@
+// Wire-frame representation.
+//
+// A simulated frame carries its true wire length plus only the bytes the
+// experiments actually inspect: the L2/L3/L4 headers and the 16-byte
+// evaluation trailer Choir stamps on replayed packets. Bulk payload bytes
+// are elided and stood in for by a deterministic 64-bit token — holding
+// 1.4 KB of filler per packet for million-packet trials would cost GBs of
+// RAM without changing any measured behaviour. Timing everywhere uses
+// wire_len, so serialization and queueing see the full-size packet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace choir::pktio {
+
+inline constexpr std::uint16_t kMaxHeaderBytes = 48;
+inline constexpr std::uint16_t kTrailerBytes = 16;
+
+struct Frame {
+  std::uint32_t wire_len = 0;    ///< full on-the-wire frame size in bytes
+  std::uint16_t header_len = 0;  ///< valid bytes in `header`
+  bool has_trailer = false;      ///< evaluation trailer present
+  /// Deliberately corrupted FCS. MoonGen-style gap fillers use such
+  /// frames to keep the NIC queue busy; the next hop's MAC discards them
+  /// (they still consume wire time).
+  bool invalid_fcs = false;
+  std::array<std::uint8_t, kMaxHeaderBytes> header{};
+  std::array<std::uint8_t, kTrailerBytes> trailer{};
+  std::uint64_t payload_token = 0;  ///< stands for the elided payload bytes
+
+  /// Bytes of payload between the headers and the trailer (or frame end).
+  std::uint32_t payload_len() const {
+    const std::uint32_t tail = has_trailer ? kTrailerBytes : 0;
+    const std::uint32_t used = header_len + tail;
+    return wire_len > used ? wire_len - used : 0;
+  }
+};
+
+}  // namespace choir::pktio

@@ -1,0 +1,108 @@
+#include "pktio/headers.hpp"
+
+#include "common/expect.hpp"
+
+namespace choir::pktio {
+
+namespace {
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+}  // namespace
+
+MacAddress mac_for_node(std::uint16_t node) {
+  // 0x02 = locally administered, unicast.
+  return MacAddress{{0x02, 0x43, 0x48, 0x52,  // "CHR"
+                     static_cast<std::uint8_t>(node >> 8),
+                     static_cast<std::uint8_t>(node & 0xff)}};
+}
+
+std::uint32_t ip_for_node(std::uint16_t node) {
+  return (10u << 24) | (0u << 16) |
+         (static_cast<std::uint32_t>(node >> 8) << 8) | (node & 0xff);
+}
+
+void write_eth_ipv4_udp(Frame& frame, const FlowAddress& flow) {
+  CHOIR_EXPECT(frame.wire_len >= kEthIpv4UdpLen,
+               "frame too short for Ethernet+IPv4+UDP");
+  std::uint8_t* h = frame.header.data();
+
+  // Ethernet.
+  for (int i = 0; i < 6; ++i) h[i] = flow.dst_mac.bytes[i];
+  for (int i = 0; i < 6; ++i) h[6 + i] = flow.src_mac.bytes[i];
+  put_u16(h + 12, kEtherTypeIpv4);
+
+  // IPv4 (no options). Total length excludes the Ethernet header.
+  std::uint8_t* ip = h + kEthHeaderLen;
+  const std::uint16_t ip_total =
+      static_cast<std::uint16_t>(frame.wire_len - kEthHeaderLen);
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0x00;
+  put_u16(ip + 2, ip_total);
+  put_u16(ip + 4, 0);       // identification
+  put_u16(ip + 6, 0x4000);  // don't fragment
+  ip[8] = 64;               // TTL
+  ip[9] = kIpProtoUdp;
+  put_u16(ip + 10, 0);  // checksum: filled below
+  put_u32(ip + 12, flow.src_ip);
+  put_u32(ip + 16, flow.dst_ip);
+  put_u16(ip + 10, ipv4_header_checksum(ip));
+
+  // UDP.
+  std::uint8_t* udp = ip + kIpv4HeaderLen;
+  put_u16(udp + 0, flow.src_port);
+  put_u16(udp + 2, flow.dst_port);
+  put_u16(udp + 4, static_cast<std::uint16_t>(ip_total - kIpv4HeaderLen));
+  put_u16(udp + 6, 0);  // checksum optional for IPv4 UDP
+
+  frame.header_len = kEthIpv4UdpLen;
+}
+
+ParsedHeaders parse_eth_ipv4_udp(const Frame& frame) {
+  ParsedHeaders out;
+  if (frame.header_len < kEthIpv4UdpLen) return out;
+  const std::uint8_t* h = frame.header.data();
+  if (get_u16(h + 12) != kEtherTypeIpv4) return out;
+  const std::uint8_t* ip = h + kEthHeaderLen;
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) return out;
+  if (ip[9] != kIpProtoUdp) return out;
+
+  for (int i = 0; i < 6; ++i) out.flow.dst_mac.bytes[i] = h[i];
+  for (int i = 0; i < 6; ++i) out.flow.src_mac.bytes[i] = h[6 + i];
+  out.ip_total_len = get_u16(ip + 2);
+  out.flow.src_ip = get_u32(ip + 12);
+  out.flow.dst_ip = get_u32(ip + 16);
+  const std::uint8_t* udp = ip + kIpv4HeaderLen;
+  out.flow.src_port = get_u16(udp + 0);
+  out.flow.dst_port = get_u16(udp + 2);
+  out.udp_len = get_u16(udp + 4);
+  out.valid = true;
+  return out;
+}
+
+std::uint16_t ipv4_header_checksum(const std::uint8_t* hdr20) {
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kIpv4HeaderLen; i += 2) {
+    if (i == 10) continue;  // checksum field treated as zero
+    sum += static_cast<std::uint32_t>((hdr20[i] << 8) | hdr20[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace choir::pktio

@@ -1,0 +1,40 @@
+#include "pktio/mbuf.hpp"
+
+#include "common/expect.hpp"
+
+namespace choir::pktio {
+
+Mempool::Mempool(std::size_t capacity) {
+  CHOIR_EXPECT(capacity > 0, "mempool capacity must be positive");
+  storage_.resize(capacity);
+  free_.reserve(capacity);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    storage_[i].pool = this;
+    storage_[i].pool_index = i;
+    free_.push_back(static_cast<std::uint32_t>(capacity - 1 - i));
+  }
+}
+
+Mbuf* Mempool::alloc() {
+  if (free_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  Mbuf* m = &storage_[idx];
+  m->frame = Frame{};
+  m->rx_timestamp = 0;
+  m->port = 0;
+  m->refcnt = 1;
+  return m;
+}
+
+void Mempool::release(Mbuf* m) {
+  CHOIR_EXPECT(m != nullptr && m->refcnt > 0, "release of dead mbuf");
+  if (--m->refcnt == 0) m->pool->take_back(m);
+}
+
+void Mempool::take_back(Mbuf* m) { free_.push_back(m->pool_index); }
+
+}  // namespace choir::pktio

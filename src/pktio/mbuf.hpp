@@ -1,0 +1,62 @@
+// Message buffers and buffer pools, mirroring DPDK's rte_mbuf/rte_mempool.
+//
+// Zero-copy recording (Section 4 of the paper: "holding forwarded packets
+// in memory after their transmission without making a copy") is expressed
+// through the reference count: the recorder retains a reference while the
+// forwarding path frees its own, and the buffer returns to the pool only
+// when both are done. Pool exhaustion is a real behaviour, not an error —
+// tx/rx paths observe alloc failure exactly as a DPDK app would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "pktio/frame.hpp"
+
+namespace choir::pktio {
+
+class Mempool;
+
+struct Mbuf {
+  Frame frame;
+  Ns rx_timestamp = 0;     ///< set by the NIC on receive
+  std::uint16_t port = 0;  ///< ingress port index
+  std::uint32_t refcnt = 0;
+
+  Mempool* pool = nullptr;
+  std::uint32_t pool_index = 0;
+};
+
+/// Fixed-size pre-allocated buffer pool.
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Allocate a buffer with refcnt 1, or nullptr if the pool is empty.
+  Mbuf* alloc();
+
+  /// Increment the reference count (a recorder holding a sent packet).
+  static void retain(Mbuf* m) { ++m->refcnt; }
+
+  /// Drop one reference; the buffer returns to its pool at zero.
+  static void release(Mbuf* m);
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t available() const { return free_.size(); }
+  std::size_t in_use() const { return capacity() - available(); }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  friend struct Mbuf;
+  void take_back(Mbuf* m);
+
+  std::vector<Mbuf> storage_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace choir::pktio

@@ -1,0 +1,76 @@
+// Fixed-capacity FIFO ring of mbuf pointers (rte_ring's burst interface).
+//
+// The simulator is single-threaded-deterministic, so no atomics are
+// needed; the power-of-two masked-index layout is kept so the code reads
+// like the DPDK structure it stands in for, and so capacity behaviour
+// (burst enqueue partially succeeds when nearly full) matches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace choir::pktio {
+
+struct Mbuf;
+
+class Ring {
+ public:
+  /// Capacity is rounded up to a power of two minus one usable slots
+  /// convention is avoided: all `capacity` slots are usable.
+  explicit Ring(std::size_t capacity) {
+    CHOIR_EXPECT(capacity > 0, "ring capacity must be positive");
+    std::size_t size = 1;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+    capacity_ = capacity;
+  }
+
+  /// Enqueue up to n buffers; returns how many were accepted.
+  std::uint16_t enqueue_burst(Mbuf* const* pkts, std::uint16_t n) {
+    std::uint16_t accepted = 0;
+    while (accepted < n && count_ < capacity_) {
+      slots_[head_ & mask_] = pkts[accepted];
+      ++head_;
+      ++count_;
+      ++accepted;
+    }
+    return accepted;
+  }
+
+  bool enqueue(Mbuf* pkt) { return enqueue_burst(&pkt, 1) == 1; }
+
+  /// Dequeue up to n buffers; returns how many were produced.
+  std::uint16_t dequeue_burst(Mbuf** pkts, std::uint16_t n) {
+    std::uint16_t produced = 0;
+    while (produced < n && count_ > 0) {
+      pkts[produced] = slots_[tail_ & mask_];
+      ++tail_;
+      --count_;
+      ++produced;
+    }
+    return produced;
+  }
+
+  Mbuf* dequeue() {
+    Mbuf* m = nullptr;
+    return dequeue_burst(&m, 1) == 1 ? m : nullptr;
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+
+ private:
+  std::vector<Mbuf*> slots_;
+  std::size_t mask_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace choir::pktio

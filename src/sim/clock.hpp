@@ -1,0 +1,112 @@
+// Per-node clock models.
+//
+// Each simulated node owns:
+//  - a TSC: a monotonically increasing cycle counter with a constant but
+//    slightly wrong frequency (ppm-scale error, as on real parts). Choir
+//    paces replays against the TSC exactly as the paper describes.
+//  - a system clock: wall-clock time = true simulated time + an offset
+//    that drifts between PTP corrections.
+//
+// The distinction matters: replay *start* commands are given in wall-clock
+// time (shared across nodes via PTP), while per-burst pacing uses TSC
+// deltas local to the node. Residual PTP offset between two replay nodes
+// is what produces the dual-replayer reordering in the paper's Section 6.2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace choir::sim {
+
+/// A per-node Time Stamp Counter.
+class TscClock {
+ public:
+  /// `nominal_ghz` is the frequency software believes (used for ns<->tick
+  /// conversion); `true_ppm_error` is how far the oscillator actually is
+  /// from nominal. Zero error gives an ideal TSC.
+  explicit TscClock(double nominal_ghz = 2.0, double true_ppm_error = 0.0,
+                    Ns boot_time = 0)
+      : nominal_ghz_(nominal_ghz),
+        true_ghz_(nominal_ghz * (1.0 + true_ppm_error * 1e-6)),
+        boot_(boot_time) {}
+
+  /// Raw counter value at true simulated time `now`.
+  std::uint64_t read(Ns now) const {
+    const double elapsed = static_cast<double>(now - boot_);
+    return static_cast<std::uint64_t>(elapsed * true_ghz_);
+  }
+
+  /// Convert a tick count to nanoseconds using the *believed* frequency,
+  /// as calibrated software does.
+  Ns ticks_to_ns(std::uint64_t ticks) const {
+    return static_cast<Ns>(static_cast<double>(ticks) / nominal_ghz_);
+  }
+
+  /// Convert nanoseconds to ticks using the believed frequency.
+  std::uint64_t ns_to_ticks(Ns ns) const {
+    return static_cast<std::uint64_t>(static_cast<double>(ns) * nominal_ghz_);
+  }
+
+  /// True simulated time at which the counter reaches `ticks`.
+  Ns time_of_ticks(std::uint64_t ticks) const {
+    return boot_ + static_cast<Ns>(static_cast<double>(ticks) / true_ghz_);
+  }
+
+  double nominal_ghz() const { return nominal_ghz_; }
+  double true_ghz() const { return true_ghz_; }
+  Ns boot_time() const { return boot_; }
+
+ private:
+  double nominal_ghz_;
+  double true_ghz_;
+  Ns boot_;
+};
+
+/// A disciplined wall clock: reports true time plus an offset. The offset
+/// drifts linearly at `drift_ppm` and is re-pulled toward zero by PTP (see
+/// sim/ptp.hpp) with a residual error.
+class SystemClock {
+ public:
+  explicit SystemClock(Ns initial_offset = 0, double drift_ppm = 0.0)
+      : offset_(static_cast<double>(initial_offset)), drift_ppm_(drift_ppm) {}
+
+  /// Wall-clock reading at true time `now`.
+  Ns read(Ns now) const {
+    return now + static_cast<Ns>(current_offset(now));
+  }
+
+  /// True time at which this clock will read `wall` (inverse of read()).
+  Ns true_time_of(Ns wall, Ns hint_now) const {
+    // Offset varies slowly (ppm); one fixed-point refinement suffices.
+    Ns t = wall - static_cast<Ns>(current_offset(hint_now));
+    t = wall - static_cast<Ns>(current_offset(t));
+    return t;
+  }
+
+  /// Replace the offset (PTP correction) effective at true time `now`.
+  void set_offset(Ns now, double offset_ns) {
+    offset_ = offset_ns;
+    offset_epoch_ = now;
+  }
+
+  double current_offset(Ns now) const {
+    return offset_ +
+           drift_ppm_ * 1e-6 * static_cast<double>(now - offset_epoch_);
+  }
+
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  double offset_;       // ns, at offset_epoch_
+  double drift_ppm_;
+  Ns offset_epoch_ = 0;
+};
+
+/// The pair of clocks every node carries.
+struct NodeClock {
+  TscClock tsc;
+  SystemClock system;
+};
+
+}  // namespace choir::sim

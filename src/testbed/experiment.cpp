@@ -1,0 +1,374 @@
+#include "testbed/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "choir/controller.hpp"
+#include "choir/middlebox.hpp"
+#include "common/expect.hpp"
+#include "gen/generator.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/noise.hpp"
+#include "net/switch.hpp"
+#include "replay/baselines.hpp"
+#include "replay/gapfill.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ptp.hpp"
+#include "trace/recorder.hpp"
+
+namespace choir::testbed {
+
+namespace {
+
+// Node indices for stable MAC/IP assignment.
+enum NodeId : std::uint16_t {
+  kGen0 = 1,
+  kGen1 = 2,
+  kController = 3,
+  kRecorder = 4,
+  kNoiseClient = 5,
+  kNoiseSink = 6,
+  kReplayer0 = 10,
+  kReplayer1 = 11,
+};
+
+pktio::FlowAddress flow_between(std::uint16_t src, std::uint16_t dst,
+                                std::uint16_t src_port = 7000,
+                                std::uint16_t dst_port = 7001) {
+  pktio::FlowAddress f;
+  f.src_mac = pktio::mac_for_node(src);
+  f.dst_mac = pktio::mac_for_node(dst);
+  f.src_ip = pktio::ip_for_node(src);
+  f.dst_ip = pktio::ip_for_node(dst);
+  f.src_port = src_port;
+  f.dst_port = dst_port;
+  return f;
+}
+
+/// One replay path: generator port -> middlebox -> (switch) -> recorder.
+struct ReplayPath {
+  std::unique_ptr<net::Link> gen_to_switch;
+  std::unique_ptr<net::PhysNic> gen_phys;
+  net::Vf* gen_vf = nullptr;
+  net::Vf* ctl_vf = nullptr;
+
+  std::unique_ptr<net::Link> repl_in_stub;   // unused egress of the in-port
+  std::unique_ptr<net::PhysNic> repl_in_phys;
+  net::Vf* repl_in_vf = nullptr;
+
+  std::unique_ptr<net::Link> repl_out_to_switch;
+  std::unique_ptr<net::PhysNic> repl_out_phys;
+  net::Vf* repl_out_vf = nullptr;
+
+  std::unique_ptr<sim::NodeClock> clock;
+  // Pools are declared before the middlebox so they are destroyed after
+  // it: the middlebox's recording holds references into gen_pool.
+  std::unique_ptr<pktio::Mempool> gen_pool;
+  std::unique_ptr<pktio::Mempool> ctl_pool;
+  std::unique_ptr<app::Middlebox> middlebox;
+  std::unique_ptr<app::Controller> controller;
+  std::unique_ptr<gen::CbrGenerator> generator;
+  // Baseline engines (Section 9 ablations); at most one is active.
+  std::unique_ptr<replay::PacedReplayerBase> baseline;
+  std::unique_ptr<replay::GapFillReplayer> gapfill;
+};
+
+}  // namespace
+
+core::Trial rebased_trial(const trace::Capture& capture) {
+  core::Trial trial = capture.to_trial();
+  if (trial.empty()) return trial;
+  const Ns t0 = trial.first_time();
+  std::vector<core::TrialPacket> shifted(trial.packets());
+  for (auto& p : shifted) p.time -= t0;
+  return core::Trial(std::move(shifted));
+}
+
+core::ConsistencyMetrics mean_metrics(
+    const std::vector<core::ComparisonResult>& comparisons) {
+  core::ConsistencyMetrics m;
+  if (comparisons.empty()) return m;
+  m.kappa = 0.0;
+  for (const auto& c : comparisons) {
+    m.uniqueness += c.metrics.uniqueness;
+    m.ordering += c.metrics.ordering;
+    m.latency += c.metrics.latency;
+    m.iat += c.metrics.iat;
+    m.kappa += c.metrics.kappa;
+  }
+  const auto n = static_cast<double>(comparisons.size());
+  m.uniqueness /= n;
+  m.ordering /= n;
+  m.latency /= n;
+  m.iat /= n;
+  m.kappa /= n;
+  return m;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const EnvironmentPreset& env = config.env;
+  CHOIR_EXPECT(env.replayers == 1 || env.replayers == 2,
+               "experiments support 1 or 2 replayers");
+  CHOIR_EXPECT(config.runs >= 2, "need at least two runs to compare");
+
+  sim::EventQueue queue;
+  Rng root(config.seed * 0x9e3779b97f4a7c15ULL + 0x43484f4952ULL);
+
+  // ---- Clocks & PTP --------------------------------------------------
+  sim::NodeClock gen_clock{sim::TscClock(2.5, root.uniform(-5, 5)),
+                           sim::SystemClock(0, root.uniform(-0.5, 0.5))};
+  sim::NodeClock rec_clock{sim::TscClock(2.5, root.uniform(-5, 5)),
+                           sim::SystemClock(0, root.uniform(-0.5, 0.5))};
+
+  const std::uint64_t total_packets = config.packets;
+  const std::uint64_t per_stream = total_packets / env.replayers;
+  const double total_gap_ns = mean_iat_ns(env.frame_bytes, env.rate);
+  const Ns trial_duration =
+      static_cast<Ns>(total_gap_ns * static_cast<double>(total_packets));
+
+  const double sync_sigma =
+      env.replayer_sync_fraction_of_run > 0.0
+          ? env.replayer_sync_fraction_of_run *
+                static_cast<double>(trial_duration)
+          : env.replayer_sync_sigma_ns;
+
+  sim::PtpService ptp(queue, env.ptp, root.split(0x505450));
+  ptp.add_slave(&gen_clock.system);
+  ptp.add_slave(&rec_clock.system);
+
+  // ---- Switch ----------------------------------------------------------
+  net::Switch sw(queue, env.switch_config, root.split(0x5357));
+
+  // ---- Recorder --------------------------------------------------------
+  auto rec_stub = std::make_unique<net::Link>(queue);
+  net::PhysNic rec_phys(queue, env.recorder_nic, root.split(0x524543),
+                        *rec_stub);
+  net::Vf& rec_vf = rec_phys.add_vf(pktio::mac_for_node(kRecorder));
+  trace::CaptureDaemon daemon(queue, rec_vf, {}, root.split(0x444d));
+  const std::size_t rec_port_in = sw.add_port();  // egress to recorder
+  sw.egress_link(rec_port_in).connect(rec_phys);
+
+  // ---- Replay paths ----------------------------------------------------
+  std::vector<ReplayPath> paths(static_cast<std::size_t>(env.replayers));
+  for (int i = 0; i < env.replayers; ++i) {
+    ReplayPath& p = paths[static_cast<std::size_t>(i)];
+    Rng prng = root.split(0x5041 + static_cast<std::uint64_t>(i));
+    const auto gen_id = static_cast<std::uint16_t>(i == 0 ? kGen0 : kGen1);
+    const auto repl_id =
+        static_cast<std::uint16_t>(i == 0 ? kReplayer0 : kReplayer1);
+
+    p.clock = std::make_unique<sim::NodeClock>(
+        sim::NodeClock{sim::TscClock(2.5, prng.uniform(-5, 5)),
+                       sim::SystemClock(0, prng.uniform(-0.5, 0.5))});
+    ptp.add_slave(&p.clock->system, sync_sigma);
+
+    // Generator port -> switch -> replayer in-port.
+    p.gen_to_switch = std::make_unique<net::Link>(queue);
+    p.gen_phys = std::make_unique<net::PhysNic>(
+        queue, env.generator_nic, prng.split(1), *p.gen_to_switch);
+    p.gen_vf = &p.gen_phys->add_vf(pktio::mac_for_node(gen_id));
+    p.ctl_vf = &p.gen_phys->add_vf(pktio::mac_for_node(kController));
+    const std::size_t port_from_gen = sw.add_port();
+    const std::size_t port_to_repl = sw.add_port();
+    p.gen_to_switch->connect(sw.ingress(port_from_gen));
+    sw.set_port_forward(port_from_gen, port_to_repl);
+
+    p.repl_in_stub = std::make_unique<net::Link>(queue);
+    p.repl_in_phys = std::make_unique<net::PhysNic>(
+        queue, env.replayer_nic, prng.split(2), *p.repl_in_stub);
+    p.repl_in_vf = &p.repl_in_phys->add_vf(
+        pktio::mac_for_node(repl_id), /*promiscuous=*/true);
+    sw.egress_link(port_to_repl).connect(*p.repl_in_phys);
+
+    // Replayer out-port -> switch -> recorder (merged in dual setups).
+    p.repl_out_to_switch = std::make_unique<net::Link>(queue);
+    p.repl_out_phys = std::make_unique<net::PhysNic>(
+        queue, env.replayer_nic, prng.split(3), *p.repl_out_to_switch);
+    p.repl_out_vf =
+        &p.repl_out_phys->add_vf(pktio::mac_for_node(repl_id), true);
+    const std::size_t port_from_repl = sw.add_port();
+    p.repl_out_to_switch->connect(sw.ingress(port_from_repl));
+    sw.set_port_forward(port_from_repl, rec_port_in);
+
+    app::ChoirConfig choir_cfg = env.choir;
+    choir_cfg.replayer_id = repl_id;
+    choir_cfg.stream_id = static_cast<std::uint32_t>(i);
+    p.middlebox = std::make_unique<app::Middlebox>(
+        queue, *p.clock, *p.repl_in_vf, *p.repl_out_vf, choir_cfg,
+        prng.split(4));
+    p.middlebox->start();
+
+    p.ctl_pool = std::make_unique<pktio::Mempool>(64);
+    p.controller = std::make_unique<app::Controller>(queue, gen_clock,
+                                                     *p.ctl_vf, *p.ctl_pool);
+
+    p.gen_pool = std::make_unique<pktio::Mempool>(per_stream + 8192);
+    gen::StreamConfig stream;
+    stream.flow = flow_between(gen_id, kRecorder);
+    stream.stream_id = static_cast<std::uint32_t>(i);
+    stream.frame_bytes = env.frame_bytes;
+    stream.rate = env.rate / env.replayers;
+    stream.count = per_stream;
+    stream.start = milliseconds(10);
+    p.generator = std::make_unique<gen::CbrGenerator>(queue, *p.gen_vf,
+                                                      *p.gen_pool, stream);
+  }
+
+  // ---- Background noise ------------------------------------------------
+  std::unique_ptr<pktio::Mempool> noise_pool;
+  std::unique_ptr<net::NoiseSource> noise;
+  std::unique_ptr<net::Link> noise_link_a;
+  std::unique_ptr<net::PhysNic> noise_phys_a;
+  std::unique_ptr<net::Link> noise_stub_b;
+  std::unique_ptr<net::PhysNic> noise_phys_b;
+  std::unique_ptr<trace::CaptureDaemon> noise_server;
+  if (env.with_noise) {
+    noise_pool = std::make_unique<pktio::Mempool>(16384);
+    net::Vf* client_vf = nullptr;
+    net::Vf* sink_vf = nullptr;
+    if (env.noise_shares_path) {
+      // iperf client co-located with the replayer, server with the
+      // recorder: both legs ride the experiment's physical NICs.
+      client_vf = &paths[0].repl_out_phys->add_vf(
+          pktio::mac_for_node(kNoiseClient));
+      sink_vf = &rec_phys.add_vf(pktio::mac_for_node(kNoiseSink));
+    } else {
+      // Dedicated experiment NICs: noise flows over its own hardware.
+      noise_link_a = std::make_unique<net::Link>(queue);
+      noise_phys_a = std::make_unique<net::PhysNic>(
+          queue, env.replayer_nic, root.split(0x4e41), *noise_link_a);
+      client_vf = &noise_phys_a->add_vf(pktio::mac_for_node(kNoiseClient));
+      noise_stub_b = std::make_unique<net::Link>(queue);
+      noise_phys_b = std::make_unique<net::PhysNic>(
+          queue, env.recorder_nic, root.split(0x4e42), *noise_stub_b);
+      sink_vf = &noise_phys_b->add_vf(pktio::mac_for_node(kNoiseSink));
+      const std::size_t pa = sw.add_port();
+      const std::size_t pb = sw.add_port();
+      noise_link_a->connect(sw.ingress(pa));
+      sw.set_port_forward(pa, pb);
+      sw.egress_link(pb).connect(*noise_phys_b);
+      sw.set_mac_route(pktio::mac_for_node(kNoiseSink), pb);
+    }
+    // The iperf "server": continuously consumes the noise stream so its
+    // buffers recycle (an unarmed capture daemon drains and discards).
+    noise_server = std::make_unique<trace::CaptureDaemon>(
+        queue, *sink_vf, net::PollLoopConfig{}, root.split(0x4e53));
+    noise = std::make_unique<net::NoiseSource>(
+        queue, *client_vf, *noise_pool,
+        flow_between(kNoiseClient, kNoiseSink, 5201, 5201), env.noise,
+        root.split(0x4e4f49));
+  }
+
+  // ---- Timeline --------------------------------------------------------
+  ptp.start();
+
+  const Ns record_margin = milliseconds(5);
+  const Ns gen_start = milliseconds(10);
+  const Ns record_end = gen_start + trial_duration + record_margin;
+  const Ns arm_margin =
+      std::max<Ns>(milliseconds(5), static_cast<Ns>(6.0 * sync_sigma));
+  const Ns run_spacing = trial_duration + 2 * arm_margin + milliseconds(40);
+
+  for (auto& p : paths) {
+    const auto repl_flow = flow_between(
+        kController, p.middlebox->config().replayer_id);
+    p.controller->start_record(milliseconds(1), repl_flow);
+    p.controller->stop_record(record_end, repl_flow);
+    p.generator->start();
+  }
+
+  // Baseline replay engines (ablations) share the Choir recording but
+  // re-transmit it with their own pacing. They run on the replayer node
+  // (its clocks, its out-port), driven at the same command times.
+  if (config.engine != ReplayEngine::kChoir) {
+    for (auto& p : paths) {
+      Rng brng = root.split(0x4241);
+      switch (config.engine) {
+        case ReplayEngine::kSleep:
+          p.baseline = std::make_unique<replay::SleepReplayer>(
+              queue, *p.clock, *p.repl_out_vf, p.middlebox->recording(),
+              replay::SleepReplayer::Config{}, brng);
+          break;
+        case ReplayEngine::kBusyWait:
+          p.baseline = std::make_unique<replay::BusyWaitReplayer>(
+              queue, *p.clock, *p.repl_out_vf, p.middlebox->recording(),
+              replay::BusyWaitReplayer::Config{}, brng);
+          break;
+        case ReplayEngine::kGapFill: {
+          replay::GapFillReplayer::Config gf;
+          gf.line_rate = env.replayer_nic.line_rate;
+          p.gapfill = std::make_unique<replay::GapFillReplayer>(
+              queue, *p.clock, *p.repl_out_vf, p.middlebox->recording(), gf);
+          break;
+        }
+        case ReplayEngine::kChoir:
+          break;
+      }
+    }
+  }
+
+  std::vector<trace::Capture> captures(static_cast<std::size_t>(config.runs));
+  const Ns replay_base = record_end + milliseconds(30) + arm_margin;
+  for (int r = 0; r < config.runs; ++r) {
+    const Ns wall_start = replay_base + r * run_spacing;
+    captures[static_cast<std::size_t>(r)].set_name("run-" +
+                                                   std::to_string(r));
+    daemon.arm(wall_start - arm_margin,
+               wall_start + trial_duration + arm_margin,
+               &captures[static_cast<std::size_t>(r)]);
+    for (auto& p : paths) {
+      if (config.engine == ReplayEngine::kChoir) {
+        const auto repl_flow = flow_between(
+            kController, p.middlebox->config().replayer_id);
+        p.controller->start_replay(wall_start - milliseconds(20), repl_flow,
+                                   wall_start);
+        continue;
+      }
+      // Baselines receive their start command out of band at the same
+      // dispatch time the controller would have used.
+      ReplayPath* path = &p;
+      queue.schedule_at(wall_start - milliseconds(20), [path, wall_start] {
+        if (path->baseline != nullptr) {
+          path->baseline->schedule_replay(wall_start);
+        } else if (path->gapfill != nullptr) {
+          path->gapfill->schedule_replay(wall_start);
+        }
+      });
+    }
+  }
+
+  const Ns end_of_world =
+      replay_base + config.runs * run_spacing + milliseconds(20);
+  if (noise != nullptr) noise->run(milliseconds(2), end_of_world);
+  queue.run_until(end_of_world);
+
+  // ---- Evaluate --------------------------------------------------------
+  ExperimentResult result;
+  result.trial_duration = trial_duration;
+  for (const auto& p : paths) {
+    result.recorded_packets += p.middlebox->recording().packet_count();
+    result.replay_tx_drops += p.repl_out_phys->tx_port().drops();
+    result.middlebox_stats.push_back(p.middlebox->stats());
+  }
+  result.recorder_rx_drops = rec_phys.rx_drops();
+  result.recorder_imissed = rec_vf.imissed();
+  result.switch_queue_drops = sw.queue_drops();
+  for (const auto& c : captures) result.capture_sizes.push_back(c.size());
+
+  const core::Trial trial_a = rebased_trial(captures[0]);
+  core::ComparisonOptions options;
+  options.collect_series = config.collect_series;
+  for (int r = 1; r < config.runs; ++r) {
+    const core::Trial trial_b =
+        rebased_trial(captures[static_cast<std::size_t>(r)]);
+    result.comparisons.push_back(
+        core::compare_trials(trial_a, trial_b, options));
+  }
+  result.mean = mean_metrics(result.comparisons);
+  if (config.keep_captures) result.captures = std::move(captures);
+  return result;
+}
+
+}  // namespace choir::testbed

@@ -1,0 +1,70 @@
+// Experiment runner: builds a preset's topology, records a generator
+// stream through the Choir middlebox(es), runs N replays, captures each
+// at the recorder, and evaluates the Section 3 metrics of every run
+// against the first (run "A"), exactly as the paper's evaluations do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "choir/middlebox.hpp"
+#include "core/metrics.hpp"
+#include "testbed/presets.hpp"
+#include "trace/capture.hpp"
+
+namespace choir::testbed {
+
+/// Which engine re-transmits the recording (Section 9 ablations). The
+/// recording itself is always made by the Choir middlebox.
+enum class ReplayEngine {
+  kChoir,     ///< TSC-paced busy loop (the paper's design)
+  kSleep,     ///< tcpreplay-style OS-timer sleeps
+  kBusyWait,  ///< gettimeofday busy-wait (microsecond grid)
+  kGapFill,   ///< MoonGen/GapReplay invalid-packet gap filling
+};
+
+struct ExperimentConfig {
+  EnvironmentPreset env;
+  /// Total packets per trial (split across replayers in dual topologies).
+  std::uint64_t packets = 100'000;
+  /// Number of replays ("runs"); the paper uses 5 (A plus B-E).
+  int runs = 5;
+  std::uint64_t seed = 1;
+  /// Collect per-packet delta series (needed for figures).
+  bool collect_series = true;
+  /// Keep raw captures in the result (memory-heavy at full scale).
+  bool keep_captures = false;
+  ReplayEngine engine = ReplayEngine::kChoir;
+};
+
+struct ExperimentResult {
+  /// Comparison of run 1+i against run 0; runs-1 entries.
+  std::vector<core::ComparisonResult> comparisons;
+  /// Component-wise mean over the comparisons (a Table 2 row).
+  core::ConsistencyMetrics mean;
+
+  std::vector<std::size_t> capture_sizes;  ///< per run
+  std::vector<trace::Capture> captures;    ///< iff keep_captures
+
+  // Provenance / diagnostics.
+  std::vector<app::MiddleboxStats> middlebox_stats;  ///< per replayer
+  std::uint64_t recorded_packets = 0;
+  std::uint64_t recorder_rx_drops = 0;   ///< RX pipeline overflow
+  std::uint64_t recorder_imissed = 0;    ///< VF ring overflow
+  std::uint64_t switch_queue_drops = 0;
+  std::uint64_t replay_tx_drops = 0;     ///< replayer egress tail drops
+  Ns trial_duration = 0;                 ///< nominal stream duration
+};
+
+/// Run one full experiment. Deterministic in (config, seed).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Mean of each metric component over a set of comparisons.
+core::ConsistencyMetrics mean_metrics(
+    const std::vector<core::ComparisonResult>& comparisons);
+
+/// Rebase a capture's timestamps so its first packet is at 0 and build
+/// the metrics trial (the paper evaluates each pcap on its own timebase).
+core::Trial rebased_trial(const trace::Capture& capture);
+
+}  // namespace choir::testbed

@@ -1,0 +1,20 @@
+#include "testbed/scale.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace choir::testbed {
+
+std::uint64_t scale_from_env() {
+  if (const char* full = std::getenv("CHOIR_FULL");
+      full != nullptr && full[0] == '1') {
+    return kPaperScalePackets;
+  }
+  if (const char* scale = std::getenv("CHOIR_SCALE"); scale != nullptr) {
+    const long long v = std::atoll(scale);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return kDefaultScalePackets;
+}
+
+}  // namespace choir::testbed

@@ -1,0 +1,19 @@
+// Experiment scale selection.
+//
+// Full paper scale is ~1.05 M packets per trial; benches default to a
+// reduced, shape-preserving scale. Override with:
+//   CHOIR_SCALE=<packets per trial>
+//   CHOIR_FULL=1              (paper scale)
+#pragma once
+
+#include <cstdint>
+
+namespace choir::testbed {
+
+inline constexpr std::uint64_t kPaperScalePackets = 1'055'648;
+inline constexpr std::uint64_t kDefaultScalePackets = 120'000;
+
+/// Packets per trial honoring CHOIR_SCALE / CHOIR_FULL.
+std::uint64_t scale_from_env();
+
+}  // namespace choir::testbed

@@ -1,0 +1,42 @@
+#include "trace/capture.hpp"
+
+#include "trace/tag.hpp"
+
+namespace choir::trace {
+
+CaptureRecord CaptureRecord::from_frame(const pktio::Frame& frame,
+                                        Ns timestamp) {
+  CaptureRecord r;
+  r.timestamp = timestamp;
+  r.wire_len = frame.wire_len;
+  r.header_len = frame.header_len;
+  r.header = frame.header;
+  r.has_trailer = frame.has_trailer;
+  r.trailer = frame.trailer;
+  r.payload_token = frame.payload_token;
+  return r;
+}
+
+core::Trial Capture::to_trial() const {
+  core::Trial trial;
+  trial.reserve(records_.size());
+  for (const CaptureRecord& r : records_) {
+    core::PacketId id;
+    if (r.has_trailer) {
+      if (const auto tag = decode_tag(r.trailer)) {
+        id = packet_id_of(*tag);
+      } else {
+        id.hi = 0x7261772d74616773ULL;  // untagged: fall back to payload
+        id.lo = r.payload_token;
+      }
+    } else {
+      id.hi = 0x7261772d74616773ULL;
+      id.lo = r.payload_token;
+    }
+    trial.push_back(core::TrialPacket{id, r.timestamp});
+  }
+  trial.make_occurrences_unique();
+  return trial;
+}
+
+}  // namespace choir::trace

@@ -1,0 +1,34 @@
+// Classic pcap export (nanosecond-resolution magic 0xa1b23c4d), so
+// captures can be inspected with tcpdump/wireshark offline.
+//
+// Elided payload bytes are regenerated deterministically from the
+// record's payload token, so exported frames are byte-complete and two
+// exports of the same capture are identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/capture.hpp"
+
+namespace choir::trace {
+
+struct PcapOptions {
+  std::uint32_t snaplen = 2048;  ///< truncate frames beyond this
+};
+
+/// Write `capture` as a pcap file. Throws choir::Error on I/O failure.
+void write_pcap(const Capture& capture, const std::string& path,
+                const PcapOptions& options = {});
+
+/// Read a pcap file (microsecond or nanosecond magic, little-endian)
+/// back into a Capture: Ethernet+IPv4+UDP headers are parsed into the
+/// record's header region, a trailing 16 bytes that decode as a Choir
+/// evaluation tag become the trailer, and remaining payload is digested
+/// into the payload token. Throws choir::Error on malformed input.
+Capture read_pcap(const std::string& path);
+
+/// Deterministic filler byte `i` of a payload with the given token.
+std::uint8_t payload_filler_byte(std::uint64_t token, std::uint32_t i);
+
+}  // namespace choir::trace

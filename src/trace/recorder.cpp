@@ -1,0 +1,34 @@
+#include "trace/recorder.hpp"
+
+namespace choir::trace {
+
+void CaptureDaemon::arm(Ns from, Ns until, Capture* out) {
+  queue_.schedule_at(from, [this, out] { active_ = out; });
+  queue_.schedule_at(until, [this, out] {
+    if (active_ == out) active_ = nullptr;
+  });
+}
+
+bool CaptureDaemon::drain() {
+  pktio::Mbuf* burst[pktio::kMaxBurst];
+  bool worked = false;
+  for (;;) {
+    const std::uint16_t n = dev_.rx_burst(burst, pktio::kMaxBurst);
+    if (n == 0) break;
+    worked = true;
+    for (std::uint16_t i = 0; i < n; ++i) {
+      pktio::Mbuf* m = burst[i];
+      if (active_ != nullptr) {
+        active_->append(CaptureRecord::from_frame(m->frame, m->rx_timestamp));
+        ++recorded_;
+      } else {
+        ++discarded_;
+      }
+      pktio::Mempool::release(m);
+    }
+    if (n < pktio::kMaxBurst) break;
+  }
+  return worked;
+}
+
+}  // namespace choir::trace

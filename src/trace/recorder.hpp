@@ -1,0 +1,49 @@
+// Capture daemon: the simulated counterpart of dpdkcap on the recorder
+// host.
+//
+// Continuously drains its port via the shared poll-loop model and, while
+// armed, appends every received frame to the active Capture. Capture
+// order is ring (arrival) order; the timestamp recorded is the NIC
+// hardware timestamp carried on the mbuf.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/poll_loop.hpp"
+#include "pktio/ethdev.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/capture.hpp"
+
+namespace choir::trace {
+
+class CaptureDaemon {
+ public:
+  CaptureDaemon(sim::EventQueue& queue, net::Vf& vf,
+                net::PollLoopConfig poll = {}, Rng rng = Rng{0xCAFE})
+      : queue_(queue), dev_("recorder", vf), loop_(queue, vf, poll, rng) {
+    loop_.set_handler([this] { return drain(); });
+    loop_.start();
+  }
+
+  /// Arm recording into `out` during [from, until). Frames polled outside
+  /// any window are drained and discarded, as dpdkcap does when idle.
+  void arm(Ns from, Ns until, Capture* out);
+
+  /// Frames discarded while disarmed.
+  std::uint64_t discarded() const { return discarded_; }
+  std::uint64_t recorded() const { return recorded_; }
+  const pktio::EthDevStats& port_stats() const { return dev_.stats(); }
+
+ private:
+  bool drain();
+
+  sim::EventQueue& queue_;
+  pktio::EthDev dev_;
+  net::PollLoop loop_;
+  Capture* active_ = nullptr;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace choir::trace

@@ -1,0 +1,46 @@
+#include "trace/tag.hpp"
+
+namespace choir::trace {
+
+std::array<std::uint8_t, pktio::kTrailerBytes> encode_tag(const Tag& tag) {
+  std::array<std::uint8_t, pktio::kTrailerBytes> t{};
+  t[0] = static_cast<std::uint8_t>(kTagMagic >> 8);
+  t[1] = static_cast<std::uint8_t>(kTagMagic & 0xff);
+  t[2] = static_cast<std::uint8_t>(tag.replayer >> 8);
+  t[3] = static_cast<std::uint8_t>(tag.replayer & 0xff);
+  for (int i = 0; i < 4; ++i) {
+    t[4 + i] = static_cast<std::uint8_t>(tag.stream >> (24 - 8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    t[8 + i] = static_cast<std::uint8_t>(tag.sequence >> (56 - 8 * i));
+  }
+  return t;
+}
+
+std::optional<Tag> decode_tag(
+    const std::array<std::uint8_t, pktio::kTrailerBytes>& t) {
+  const std::uint16_t magic = static_cast<std::uint16_t>((t[0] << 8) | t[1]);
+  if (magic != kTagMagic) return std::nullopt;
+  Tag tag;
+  tag.replayer = static_cast<std::uint16_t>((t[2] << 8) | t[3]);
+  tag.stream = 0;
+  for (int i = 0; i < 4; ++i) tag.stream = (tag.stream << 8) | t[4 + i];
+  tag.sequence = 0;
+  for (int i = 0; i < 8; ++i) tag.sequence = (tag.sequence << 8) | t[8 + i];
+  return tag;
+}
+
+void stamp(pktio::Frame& frame, const Tag& tag) {
+  frame.trailer = encode_tag(tag);
+  frame.has_trailer = true;
+}
+
+core::PacketId packet_id_of(const Tag& tag) {
+  core::PacketId id;
+  id.hi = (static_cast<std::uint64_t>(kTagMagic) << 48) |
+          (static_cast<std::uint64_t>(tag.replayer) << 32) | tag.stream;
+  id.lo = tag.sequence;
+  return id;
+}
+
+}  // namespace choir::trace

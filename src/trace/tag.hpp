@@ -1,0 +1,45 @@
+// The 16-byte evaluation trailer.
+//
+// Section 6 of the paper: "the packets were stamped with unique 16-byte
+// tags in the replayer, which included the replay node they were emitted
+// by". The trailer is what defines packet identity for the consistency
+// metrics. Layout (big-endian):
+//   bytes  0-1   magic 0xC401
+//   bytes  2-3   replayer id
+//   bytes  4-7   stream id
+//   bytes  8-15  sequence number
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/trial.hpp"
+#include "pktio/frame.hpp"
+
+namespace choir::trace {
+
+inline constexpr std::uint16_t kTagMagic = 0xC401;
+
+struct Tag {
+  std::uint16_t replayer = 0;
+  std::uint32_t stream = 0;
+  std::uint64_t sequence = 0;
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+};
+
+/// Serialize a tag into a 16-byte trailer.
+std::array<std::uint8_t, pktio::kTrailerBytes> encode_tag(const Tag& tag);
+
+/// Parse a trailer; nullopt if the magic does not match.
+std::optional<Tag> decode_tag(
+    const std::array<std::uint8_t, pktio::kTrailerBytes>& trailer);
+
+/// Stamp `frame` with the tag (sets has_trailer).
+void stamp(pktio::Frame& frame, const Tag& tag);
+
+/// Packet identity for the metrics layer: the trailer verbatim.
+core::PacketId packet_id_of(const Tag& tag);
+
+}  // namespace choir::trace

@@ -1,0 +1,89 @@
+#include "trace/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/expect.hpp"
+
+namespace choir::trace {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'H', 'O', 'I', 'R', 'T', 'R', 'C'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  // Host little-endian assumed for this research codebase (x86-64/ARM64).
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return value;
+}
+}  // namespace
+
+void write_trace(const Capture& capture, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHOIR_EXPECT(out.good(), "cannot open trace file for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, kTraceVersion);
+  put<std::uint64_t>(out, capture.size());
+  for (const CaptureRecord& r : capture.records()) {
+    put<std::int64_t>(out, r.timestamp);
+    put<std::uint32_t>(out, r.wire_len);
+    put<std::uint16_t>(out, r.header_len);
+    put<std::uint8_t>(out, r.has_trailer ? 1 : 0);
+    out.write(reinterpret_cast<const char*>(r.header.data()),
+              static_cast<std::streamsize>(r.header.size()));
+    out.write(reinterpret_cast<const char*>(r.trailer.data()),
+              static_cast<std::streamsize>(r.trailer.size()));
+    put<std::uint64_t>(out, r.payload_token);
+  }
+  CHOIR_EXPECT(out.good(), "write failed for trace file: " + path);
+}
+
+Capture read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHOIR_EXPECT(in.good(), "cannot open trace file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  CHOIR_EXPECT(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+               "bad trace magic: " + path);
+  const auto version = get<std::uint32_t>(in);
+  CHOIR_EXPECT(version == kTraceVersion, "unsupported trace version");
+  const auto count = get<std::uint64_t>(in);
+  // Validate the declared count against the actual file size before
+  // trusting it for an allocation — a corrupted header must not drive an
+  // unbounded reserve.
+  const auto header_end = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(header_end);
+  constexpr std::uint64_t kRecordBytes =
+      8 + 4 + 2 + 1 + pktio::kMaxHeaderBytes + pktio::kTrailerBytes + 8;
+  CHOIR_EXPECT(count <= static_cast<std::uint64_t>(file_end - header_end) /
+                            kRecordBytes,
+               "trace record count exceeds file size: " + path);
+
+  Capture capture(path);
+  capture.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CaptureRecord r;
+    r.timestamp = get<std::int64_t>(in);
+    r.wire_len = get<std::uint32_t>(in);
+    r.header_len = get<std::uint16_t>(in);
+    r.has_trailer = get<std::uint8_t>(in) != 0;
+    in.read(reinterpret_cast<char*>(r.header.data()),
+            static_cast<std::streamsize>(r.header.size()));
+    in.read(reinterpret_cast<char*>(r.trailer.data()),
+            static_cast<std::streamsize>(r.trailer.size()));
+    r.payload_token = get<std::uint64_t>(in);
+    CHOIR_EXPECT(in.good(), "truncated trace file: " + path);
+    capture.append(r);
+  }
+  return capture;
+}
+
+}  // namespace choir::trace

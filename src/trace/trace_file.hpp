@@ -1,0 +1,26 @@
+// Native binary capture format (compact, lossless for our records).
+//
+// Layout, little-endian:
+//   magic   8 bytes  "CHOIRTRC"
+//   version u32
+//   count   u64
+//   records count x { timestamp i64, wire_len u32, flags u8,
+//                     trailer 16 bytes, payload_token u64 }
+#pragma once
+
+#include <string>
+
+#include "trace/capture.hpp"
+
+namespace choir::trace {
+
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write `capture` to `path`. Throws choir::Error on I/O failure.
+void write_trace(const Capture& capture, const std::string& path);
+
+/// Read a capture back. Throws choir::Error on I/O failure or a
+/// malformed/mismatched file.
+Capture read_trace(const std::string& path);
+
+}  // namespace choir::trace

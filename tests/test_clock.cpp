@@ -1,0 +1,97 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace choir::sim {
+namespace {
+
+TEST(TscClock, CountsAtNominalFrequency) {
+  TscClock tsc(2.0);  // 2 GHz, no error
+  EXPECT_EQ(tsc.read(0), 0u);
+  EXPECT_EQ(tsc.read(1000), 2000u);  // 1 us -> 2000 cycles
+}
+
+TEST(TscClock, BootTimeOffsetsCounter) {
+  TscClock tsc(1.0, 0.0, /*boot_time=*/500);
+  EXPECT_EQ(tsc.read(500), 0u);
+  EXPECT_EQ(tsc.read(1500), 1000u);
+}
+
+TEST(TscClock, MonotonicallyIncreases) {
+  TscClock tsc(2.5, 3.0);
+  std::uint64_t prev = 0;
+  for (Ns t = 0; t < 100000; t += 777) {
+    const std::uint64_t v = tsc.read(t);
+    ASSERT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(TscClock, TickNsConversionsInverse) {
+  TscClock tsc(2.4);
+  const Ns span = 123456789;
+  EXPECT_NEAR(static_cast<double>(tsc.ticks_to_ns(tsc.ns_to_ticks(span))),
+              static_cast<double>(span), 2.0);
+}
+
+TEST(TscClock, PpmErrorSkewsTrueRate) {
+  // +100 ppm oscillator: after 1 s the counter is 100 us of cycles ahead.
+  TscClock tsc(1.0, 100.0);
+  const std::uint64_t ticks = tsc.read(kNsPerSec);
+  EXPECT_NEAR(static_cast<double>(ticks), 1e9 * (1.0 + 100e-6), 10.0);
+}
+
+TEST(TscClock, TimeOfTicksInvertsRead) {
+  TscClock tsc(2.5, -40.0, 1000);
+  const Ns t = 987654321;
+  const std::uint64_t ticks = tsc.read(t);
+  EXPECT_NEAR(static_cast<double>(tsc.time_of_ticks(ticks)),
+              static_cast<double>(t), 2.0);
+}
+
+TEST(TscClock, CalibrationErrorShowsUpInConversion) {
+  // Believed 2.0 GHz, actually +500 ppm. Converting a tick span back to
+  // ns with the believed frequency overestimates elapsed time.
+  TscClock tsc(2.0, 500.0);
+  const std::uint64_t ticks = tsc.read(kNsPerSec) - tsc.read(0);
+  const Ns believed = tsc.ticks_to_ns(ticks);
+  EXPECT_GT(believed, kNsPerSec);
+  EXPECT_NEAR(static_cast<double>(believed), 1e9 * 1.0005, 100.0);
+}
+
+TEST(SystemClock, ReadsTruePlusOffset) {
+  SystemClock clock(250);
+  EXPECT_EQ(clock.read(1000), 1250);
+}
+
+TEST(SystemClock, DriftAccumulates) {
+  SystemClock clock(0, /*drift_ppm=*/10.0);
+  // 10 ppm over 1 s = 10 us.
+  EXPECT_NEAR(clock.current_offset(kNsPerSec), 10'000.0, 1.0);
+}
+
+TEST(SystemClock, SetOffsetRebasesDrift) {
+  SystemClock clock(0, 100.0);
+  clock.set_offset(kNsPerSec, 42.0);
+  EXPECT_NEAR(clock.current_offset(kNsPerSec), 42.0, 1e-9);
+  // Drift resumes from the new epoch.
+  EXPECT_NEAR(clock.current_offset(2 * kNsPerSec), 42.0 + 100'000.0, 1.0);
+}
+
+TEST(SystemClock, TrueTimeOfInvertsRead) {
+  SystemClock clock(5000, 25.0);
+  const Ns truth = 777'000'000;
+  const Ns wall = clock.read(truth);
+  EXPECT_NEAR(static_cast<double>(clock.true_time_of(wall, truth - 100000)),
+              static_cast<double>(truth), 2.0);
+}
+
+TEST(SystemClock, ZeroOffsetZeroDriftIsIdentity) {
+  SystemClock clock;
+  for (Ns t : {Ns{0}, Ns{123}, seconds(5)}) {
+    EXPECT_EQ(clock.read(t), t);
+  }
+}
+
+}  // namespace
+}  // namespace choir::sim

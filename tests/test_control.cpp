@@ -1,0 +1,85 @@
+#include "choir/control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace choir::app {
+namespace {
+
+pktio::FlowAddress ctl_flow() {
+  pktio::FlowAddress f;
+  f.src_mac = pktio::mac_for_node(3);
+  f.dst_mac = pktio::mac_for_node(10);
+  f.src_ip = pktio::ip_for_node(3);
+  f.dst_ip = pktio::ip_for_node(10);
+  f.src_port = 9999;
+  f.dst_port = 1234;  // overwritten by encode_control
+  return f;
+}
+
+TEST(Control, EncodeDecodeRoundTrip) {
+  pktio::Frame frame;
+  encode_control(frame, ctl_flow(), ControlMessage{Op::kStartReplay,
+                                                   0x1122334455667788ULL});
+  const auto msg = decode_control(frame);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->op, Op::kStartReplay);
+  EXPECT_EQ(msg->arg, 0x1122334455667788ULL);
+}
+
+TEST(Control, ForcesControlPort) {
+  pktio::Frame frame;
+  encode_control(frame, ctl_flow(), ControlMessage{Op::kPing, 0});
+  const auto parsed = pktio::parse_eth_ipv4_udp(frame);
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_EQ(parsed.flow.dst_port, kControlPort);
+}
+
+TEST(Control, AllOpcodesRoundTrip) {
+  for (const Op op : {Op::kStartRecord, Op::kStopRecord, Op::kStartReplay,
+                      Op::kClearRecording, Op::kPing}) {
+    pktio::Frame frame;
+    encode_control(frame, ctl_flow(), ControlMessage{op, 7});
+    ASSERT_TRUE(decode_control(frame).has_value());
+    EXPECT_EQ(decode_control(frame)->op, op);
+  }
+}
+
+TEST(Control, DataFrameNotMistakenForControl) {
+  pktio::Frame frame;
+  frame.wire_len = 1400;
+  pktio::write_eth_ipv4_udp(frame, ctl_flow());  // dst_port 1234, not ctl
+  EXPECT_FALSE(decode_control(frame).has_value());
+}
+
+TEST(Control, ControlPortWithoutMagicRejected) {
+  pktio::Frame frame;
+  pktio::FlowAddress flow = ctl_flow();
+  flow.dst_port = kControlPort;
+  frame.wire_len = 64;
+  pktio::write_eth_ipv4_udp(frame, flow);
+  // UDP datagram to the control port but no trailer magic: not a command.
+  EXPECT_FALSE(decode_control(frame).has_value());
+}
+
+TEST(Control, EvaluationTagNotMistakenForControl) {
+  // An evaluation-tagged data packet must never decode as a command,
+  // even if it happens to hit the control port.
+  pktio::Frame frame;
+  pktio::FlowAddress flow = ctl_flow();
+  flow.dst_port = kControlPort;
+  frame.wire_len = 1400;
+  pktio::write_eth_ipv4_udp(frame, flow);
+  frame.has_trailer = true;
+  frame.trailer[0] = 0xC4;  // evaluation tag magic, not control magic
+  frame.trailer[1] = 0x01;
+  EXPECT_FALSE(decode_control(frame).has_value());
+}
+
+TEST(Control, ControlFrameIsSmall) {
+  pktio::Frame frame;
+  encode_control(frame, ctl_flow(), ControlMessage{Op::kPing, 0});
+  EXPECT_LE(frame.wire_len, 128u);
+}
+
+}  // namespace
+}  // namespace choir::app

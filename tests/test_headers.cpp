@@ -1,0 +1,113 @@
+#include "pktio/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace choir::pktio {
+namespace {
+
+FlowAddress sample_flow() {
+  FlowAddress f;
+  f.src_mac = mac_for_node(3);
+  f.dst_mac = mac_for_node(4);
+  f.src_ip = ip_for_node(3);
+  f.dst_ip = ip_for_node(4);
+  f.src_port = 7000;
+  f.dst_port = 7001;
+  return f;
+}
+
+TEST(Headers, WriteParseRoundTrip) {
+  Frame frame;
+  frame.wire_len = 1400;
+  write_eth_ipv4_udp(frame, sample_flow());
+  EXPECT_EQ(frame.header_len, kEthIpv4UdpLen);
+
+  const ParsedHeaders p = parse_eth_ipv4_udp(frame);
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.flow.src_mac.bytes, mac_for_node(3).bytes);
+  EXPECT_EQ(p.flow.dst_mac.bytes, mac_for_node(4).bytes);
+  EXPECT_EQ(p.flow.src_ip, ip_for_node(3));
+  EXPECT_EQ(p.flow.dst_ip, ip_for_node(4));
+  EXPECT_EQ(p.flow.src_port, 7000);
+  EXPECT_EQ(p.flow.dst_port, 7001);
+}
+
+TEST(Headers, LengthFieldsDeriveFromWireLen) {
+  Frame frame;
+  frame.wire_len = 1400;
+  write_eth_ipv4_udp(frame, sample_flow());
+  const ParsedHeaders p = parse_eth_ipv4_udp(frame);
+  EXPECT_EQ(p.ip_total_len, 1400 - kEthHeaderLen);
+  EXPECT_EQ(p.udp_len, 1400 - kEthHeaderLen - kIpv4HeaderLen);
+}
+
+TEST(Headers, MinimumFrameSizeEnforced) {
+  Frame frame;
+  frame.wire_len = 40;  // below 42-byte header stack
+  EXPECT_THROW(write_eth_ipv4_udp(frame, sample_flow()), Error);
+}
+
+TEST(Headers, ParseRejectsShortHeader) {
+  Frame frame;
+  frame.wire_len = 1400;
+  frame.header_len = 10;
+  EXPECT_FALSE(parse_eth_ipv4_udp(frame).valid);
+}
+
+TEST(Headers, ParseRejectsNonIpv4) {
+  Frame frame;
+  frame.wire_len = 1400;
+  write_eth_ipv4_udp(frame, sample_flow());
+  frame.header[12] = 0x86;  // EtherType -> not IPv4
+  frame.header[13] = 0xdd;
+  EXPECT_FALSE(parse_eth_ipv4_udp(frame).valid);
+}
+
+TEST(Headers, ParseRejectsNonUdp) {
+  Frame frame;
+  frame.wire_len = 1400;
+  write_eth_ipv4_udp(frame, sample_flow());
+  frame.header[kEthHeaderLen + 9] = 6;  // TCP
+  EXPECT_FALSE(parse_eth_ipv4_udp(frame).valid);
+}
+
+TEST(Headers, ChecksumValidatesToZero) {
+  Frame frame;
+  frame.wire_len = 1400;
+  write_eth_ipv4_udp(frame, sample_flow());
+  // RFC 1071: summing the header including the stored checksum must give
+  // the complement of zero.
+  const std::uint8_t* ip = frame.header.data() + kEthHeaderLen;
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kIpv4HeaderLen; i += 2) {
+    sum += static_cast<std::uint32_t>((ip[i] << 8) | ip[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(sum, 0xffffu);
+}
+
+TEST(Headers, MacForNodeIsLocallyAdministeredUnicast) {
+  const MacAddress mac = mac_for_node(300);
+  EXPECT_EQ(mac.bytes[0] & 0x02, 0x02);  // locally administered
+  EXPECT_EQ(mac.bytes[0] & 0x01, 0x00);  // unicast
+}
+
+TEST(Headers, MacAndIpDistinctPerNode) {
+  EXPECT_NE(mac_for_node(1).bytes, mac_for_node(2).bytes);
+  EXPECT_NE(ip_for_node(1), ip_for_node(2));
+}
+
+TEST(Headers, DifferentFlowsDifferentBytes) {
+  Frame a, b;
+  a.wire_len = b.wire_len = 100;
+  write_eth_ipv4_udp(a, sample_flow());
+  FlowAddress other = sample_flow();
+  other.dst_port = 9999;
+  write_eth_ipv4_udp(b, other);
+  EXPECT_NE(a.header, b.header);
+}
+
+}  // namespace
+}  // namespace choir::pktio

@@ -1,0 +1,49 @@
+// Shared fixtures/doubles for the device-model tests.
+#pragma once
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "pktio/headers.hpp"
+#include "pktio/mbuf.hpp"
+
+namespace choir::test {
+
+/// Link endpoint that records deliveries and frees the buffers.
+struct SinkEndpoint : net::Endpoint {
+  struct Delivery {
+    Ns wire_time;
+    std::uint32_t wire_len;
+    std::uint64_t payload_token;
+    bool invalid_fcs;
+  };
+  std::vector<Delivery> deliveries;
+
+  void deliver(pktio::Mbuf* pkt, Ns wire_time) override {
+    deliveries.push_back(Delivery{wire_time, pkt->frame.wire_len,
+                                  pkt->frame.payload_token,
+                                  pkt->frame.invalid_fcs});
+    pktio::Mempool::release(pkt);
+  }
+};
+
+/// Allocate a frame with the given size/token, addressed src -> dst.
+inline pktio::Mbuf* make_frame(pktio::Mempool& pool, std::uint32_t wire_len,
+                               std::uint64_t token, std::uint16_t src = 1,
+                               std::uint16_t dst = 2) {
+  pktio::Mbuf* m = pool.alloc();
+  if (m == nullptr) return nullptr;
+  m->frame.wire_len = wire_len;
+  m->frame.payload_token = token;
+  pktio::FlowAddress flow;
+  flow.src_mac = pktio::mac_for_node(src);
+  flow.dst_mac = pktio::mac_for_node(dst);
+  flow.src_ip = pktio::ip_for_node(src);
+  flow.dst_ip = pktio::ip_for_node(dst);
+  flow.src_port = 7000;
+  flow.dst_port = 7001;
+  pktio::write_eth_ipv4_udp(m->frame, flow);
+  return m;
+}
+
+}  // namespace choir::test

@@ -1,0 +1,109 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+#include "common/expect.hpp"
+
+namespace choir::analysis {
+namespace {
+
+TEST(Histogram, CentreBinCatchesSmallDeltas) {
+  DeltaHistogram h({10, 100});
+  h.add(0);
+  h.add(5);
+  h.add(-5);
+  h.add(10);    // inclusive boundary
+  h.add(-10);
+  EXPECT_EQ(h.bins()[2].count, 5u);  // layout: [neg-of, neg, centre, ...]
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, SignedBinsSeparate) {
+  DeltaHistogram h({10, 100});
+  h.add(50);
+  h.add(-50);
+  // bins: [-inf,-100) [-100,-10) [-10,10] (10,100] (100,inf)
+  EXPECT_EQ(h.bins()[1].count, 1u);
+  EXPECT_EQ(h.bins()[3].count, 1u);
+}
+
+TEST(Histogram, OverflowBinsOpenEnded) {
+  DeltaHistogram h({10, 100});
+  h.add(1e12);
+  h.add(-1e12);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[4].count, 1u);
+}
+
+TEST(Histogram, BoundariesBelongToInnerBin) {
+  DeltaHistogram h({10, 100});
+  h.add(100);   // (10, 100] -> positive inner
+  h.add(-100);  // [-100, -10) is exclusive at -100... goes to [-100,-10)?
+  // Convention: magnitude in (e_{k-1}, e_k] -> bucket k; so |100| -> bin
+  // edge 100's bucket on each side.
+  EXPECT_EQ(h.bins()[3].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  DeltaHistogram h = DeltaHistogram::log_ns();
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(rng.normal(0, 1e5));
+  }
+  double total = 0;
+  for (std::size_t i = 0; i < h.bins().size(); ++i) total += h.fraction(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Histogram, LogNsSpansPaperRange) {
+  DeltaHistogram h = DeltaHistogram::log_ns();
+  // 8 edges -> 17 bins.
+  EXPECT_EQ(h.bins().size(), 17u);
+  h.add(3.0);      // within +-10 ns (the paper's headline bucket)
+  h.add(5e7);      // the dual-replayer latency outlier region
+  EXPECT_EQ(h.bins()[8].count, 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, AddAllMatchesAdd) {
+  DeltaHistogram a({10}), b({10});
+  const std::vector<double> values{1, -20, 300, 0};
+  for (const double v : values) a.add(v);
+  b.add_all(values);
+  for (std::size_t i = 0; i < a.bins().size(); ++i) {
+    EXPECT_EQ(a.bins()[i].count, b.bins()[i].count);
+  }
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  DeltaHistogram h({10, 100});
+  h.add(5);
+  h.add(50);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("50"), std::string::npos);  // a 50% line exists
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, EmptyRenderIsEmpty) {
+  DeltaHistogram h({10});
+  EXPECT_TRUE(h.render().empty());
+}
+
+TEST(Histogram, InvalidEdgesRejected) {
+  EXPECT_THROW(DeltaHistogram({}), Error);
+  EXPECT_THROW(DeltaHistogram({-5, 10}), Error);
+  EXPECT_THROW(DeltaHistogram({100, 10}), Error);
+}
+
+TEST(FormatNs, UnitsScale) {
+  EXPECT_EQ(format_ns(5), "+5 ns");
+  EXPECT_EQ(format_ns(-1500), "-1.5 us");
+  EXPECT_EQ(format_ns(2.5e6), "+2.5 ms");
+  EXPECT_EQ(format_ns(3e9), "+3 s");
+}
+
+}  // namespace
+}  // namespace choir::analysis

@@ -1,0 +1,132 @@
+#include "core/lis.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace choir::core {
+namespace {
+
+// Brute-force LIS length in O(n^2) for cross-checking.
+std::size_t lis_brute(const std::vector<std::uint32_t>& v) {
+  if (v.empty()) return 0;
+  std::vector<std::size_t> best(v.size(), 1);
+  std::size_t answer = 1;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (v[j] < v[i]) best[i] = std::max(best[i], best[j] + 1);
+    }
+    answer = std::max(answer, best[i]);
+  }
+  return answer;
+}
+
+bool is_valid_increasing_subsequence(const std::vector<std::uint32_t>& v,
+                                     const std::vector<std::uint32_t>& pos) {
+  for (std::size_t k = 1; k < pos.size(); ++k) {
+    if (pos[k] <= pos[k - 1]) return false;
+    if (v[pos[k]] <= v[pos[k - 1]]) return false;
+  }
+  return true;
+}
+
+TEST(Lis, EmptyInput) {
+  EXPECT_TRUE(longest_increasing_subsequence({}).empty());
+  EXPECT_EQ(lis_length({}), 0u);
+}
+
+TEST(Lis, SingleElement) {
+  const auto r = longest_increasing_subsequence({42});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 0u);
+}
+
+TEST(Lis, AlreadySorted) {
+  const std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(longest_increasing_subsequence(v).size(), 5u);
+}
+
+TEST(Lis, ReversedGivesLengthOne) {
+  const std::vector<std::uint32_t> v{5, 4, 3, 2, 1};
+  EXPECT_EQ(longest_increasing_subsequence(v).size(), 1u);
+}
+
+TEST(Lis, ClassicExample) {
+  const std::vector<std::uint32_t> v{10, 9, 2, 5, 3, 7, 101, 18};
+  const auto r = longest_increasing_subsequence(v);
+  EXPECT_EQ(r.size(), 4u);  // e.g. 2, 3, 7, 18
+  EXPECT_TRUE(is_valid_increasing_subsequence(v, r));
+}
+
+TEST(Lis, StrictlyIncreasingRejectsEqualRuns) {
+  const std::vector<std::uint32_t> v{3, 3, 3, 3};
+  EXPECT_EQ(longest_increasing_subsequence(v).size(), 1u);
+}
+
+TEST(Lis, SwappedNeighborPair) {
+  // A permutation with one adjacent swap keeps n-1 in order.
+  const std::vector<std::uint32_t> v{0, 2, 1, 3, 4};
+  EXPECT_EQ(longest_increasing_subsequence(v).size(), 4u);
+}
+
+TEST(Lis, LengthHelperMatchesRecovery) {
+  Rng rng(100);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> v(200);
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.uniform_u64(500));
+    EXPECT_EQ(lis_length(v), longest_increasing_subsequence(v).size());
+  }
+}
+
+struct LisRandomCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::uint64_t value_range;
+};
+
+class LisRandomTest : public ::testing::TestWithParam<LisRandomCase> {};
+
+TEST_P(LisRandomTest, MatchesBruteForceAndIsValid) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  std::vector<std::uint32_t> v(param.n);
+  for (auto& x : v) {
+    x = static_cast<std::uint32_t>(rng.uniform_u64(param.value_range));
+  }
+  const auto r = longest_increasing_subsequence(v);
+  EXPECT_EQ(r.size(), lis_brute(v));
+  EXPECT_TRUE(is_valid_increasing_subsequence(v, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, LisRandomTest,
+    ::testing::Values(LisRandomCase{1, 10, 10}, LisRandomCase{2, 10, 100},
+                      LisRandomCase{3, 50, 8}, LisRandomCase{4, 50, 50},
+                      LisRandomCase{5, 100, 1000}, LisRandomCase{6, 200, 20},
+                      LisRandomCase{7, 200, 200000}, LisRandomCase{8, 333, 2},
+                      LisRandomCase{9, 500, 500}, LisRandomCase{10, 64, 64}));
+
+TEST(Lis, PermutationIdentityRecovery) {
+  // For a permutation shifted by a rotation, LIS = n - shift.
+  const std::size_t n = 1000, shift = 137;
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint32_t>((i + shift) % n);
+  }
+  EXPECT_EQ(longest_increasing_subsequence(v).size(), n - shift);
+}
+
+TEST(Lis, LargeInputFast) {
+  // O(n log n): 200k elements should be near-instant.
+  Rng rng(11);
+  std::vector<std::uint32_t> v(200000);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_u64());
+  const auto r = longest_increasing_subsequence(v);
+  EXPECT_GT(r.size(), 500u);  // ~2*sqrt(n) expected
+  EXPECT_TRUE(is_valid_increasing_subsequence(v, r));
+}
+
+}  // namespace
+}  // namespace choir::core

@@ -1,0 +1,116 @@
+#include "pktio/mbuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace choir::pktio {
+namespace {
+
+TEST(Mempool, AllocatesUpToCapacity) {
+  Mempool pool(4);
+  std::vector<Mbuf*> taken;
+  for (int i = 0; i < 4; ++i) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    taken.push_back(m);
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  for (Mbuf* m : taken) Mempool::release(m);
+  EXPECT_EQ(pool.available(), 4u);
+}
+
+TEST(Mempool, AllocResetsBufferState) {
+  Mempool pool(1);
+  Mbuf* m = pool.alloc();
+  m->frame.wire_len = 1400;
+  m->frame.has_trailer = true;
+  m->rx_timestamp = 999;
+  m->port = 3;
+  Mempool::release(m);
+  Mbuf* again = pool.alloc();
+  EXPECT_EQ(again, m);  // same storage
+  EXPECT_EQ(again->frame.wire_len, 0u);
+  EXPECT_FALSE(again->frame.has_trailer);
+  EXPECT_EQ(again->rx_timestamp, 0);
+  EXPECT_EQ(again->port, 0);
+  EXPECT_EQ(again->refcnt, 1u);
+  Mempool::release(again);
+}
+
+TEST(Mempool, RetainKeepsBufferAlive) {
+  // Zero-copy recording: a second reference keeps the buffer out of the
+  // pool after the forwarding path drops its own.
+  Mempool pool(1);
+  Mbuf* m = pool.alloc();
+  Mempool::retain(m);
+  EXPECT_EQ(m->refcnt, 2u);
+  Mempool::release(m);  // forwarding path done
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  Mempool::release(m);  // recording cleared
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(Mempool, ManyRetainsBalance) {
+  Mempool pool(1);
+  Mbuf* m = pool.alloc();
+  for (int i = 0; i < 10; ++i) Mempool::retain(m);
+  for (int i = 0; i < 10; ++i) Mempool::release(m);
+  EXPECT_EQ(pool.available(), 0u);
+  Mempool::release(m);
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(Mempool, ReleaseDeadBufferThrows) {
+  Mempool pool(1);
+  Mbuf* m = pool.alloc();
+  Mempool::release(m);
+  EXPECT_THROW(Mempool::release(m), Error);
+}
+
+TEST(Mempool, ZeroCapacityRejected) {
+  EXPECT_THROW(Mempool(0), Error);
+}
+
+TEST(Mempool, CountsInUse) {
+  Mempool pool(10);
+  std::vector<Mbuf*> taken;
+  for (int i = 0; i < 6; ++i) taken.push_back(pool.alloc());
+  EXPECT_EQ(pool.in_use(), 6u);
+  EXPECT_EQ(pool.capacity(), 10u);
+  for (Mbuf* m : taken) Mempool::release(m);
+}
+
+TEST(Mempool, ChurnReusesStorage) {
+  Mempool pool(8);
+  for (int round = 0; round < 1000; ++round) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    Mempool::release(m);
+  }
+  EXPECT_EQ(pool.available(), 8u);
+}
+
+TEST(Frame, PayloadLenAccounting) {
+  Frame f;
+  f.wire_len = 1400;
+  f.header_len = 42;
+  f.has_trailer = true;
+  EXPECT_EQ(f.payload_len(), 1400u - 42u - 16u);
+  f.has_trailer = false;
+  EXPECT_EQ(f.payload_len(), 1400u - 42u);
+}
+
+TEST(Frame, PayloadLenNeverUnderflows) {
+  Frame f;
+  f.wire_len = 50;
+  f.header_len = 42;
+  f.has_trailer = true;  // 42 + 16 > 50
+  EXPECT_EQ(f.payload_len(), 0u);
+}
+
+}  // namespace
+}  // namespace choir::pktio

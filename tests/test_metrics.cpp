@@ -1,0 +1,231 @@
+// Unit tests for the Section 3 metrics, including the paper's worked
+// examples.
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace choir::core {
+namespace {
+
+Trial make_trial(const std::vector<std::uint64_t>& ids,
+                 const std::vector<Ns>& times) {
+  Trial t;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    t.push_back(TrialPacket{PacketId{0, ids[i]}, times[i]});
+  }
+  return t;
+}
+
+Trial cbr_trial(std::size_t n, Ns gap, Ns start = 0) {
+  Trial t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back(TrialPacket{PacketId{0, i + 1},
+                            start + static_cast<Ns>(i) * gap});
+  }
+  return t;
+}
+
+TEST(MetricU, PaperWorkedExample) {
+  // Section 3: A has 10 packets, B dropped one -> U = 1/19.
+  Trial a = cbr_trial(10, 100);
+  Trial b;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    b.push_back(a[i]);
+  }
+  const auto r = compare_trials(a, b);
+  EXPECT_NEAR(r.metrics.uniqueness, 1.0 / 19.0, 1e-12);
+}
+
+TEST(MetricU, ZeroForIdenticalPackets) {
+  const Trial a = cbr_trial(100, 50);
+  EXPECT_EQ(compare_trials(a, a).metrics.uniqueness, 0.0);
+}
+
+TEST(MetricU, OneForDisjointTrials) {
+  const Trial a = cbr_trial(10, 100);
+  Trial b;
+  for (std::size_t i = 0; i < 10; ++i) {
+    b.push_back(TrialPacket{PacketId{1, i + 100}, static_cast<Ns>(i) * 100});
+  }
+  EXPECT_EQ(compare_trials(a, b).metrics.uniqueness, 1.0);
+}
+
+TEST(MetricU, BothEmptyIsConsistent) {
+  const auto r = compare_trials(Trial{}, Trial{});
+  EXPECT_EQ(r.metrics.uniqueness, 0.0);
+  EXPECT_EQ(r.metrics.kappa, 1.0);
+}
+
+TEST(MetricO, ZeroWhenOrderPreserved) {
+  const Trial a = cbr_trial(50, 10);
+  Trial b = a;  // same order, shifted times do not matter for O
+  EXPECT_EQ(compare_trials(a, b).metrics.ordering, 0.0);
+}
+
+TEST(MetricO, AdjacentSwap) {
+  Trial a = cbr_trial(4, 100);
+  Trial b = make_trial({1, 3, 2, 4}, {0, 100, 200, 300});
+  // One move of distance 1 over the max sum 0+1+2+3+4 = 10.
+  EXPECT_NEAR(compare_trials(a, b).metrics.ordering, 1.0 / 10.0, 1e-12);
+}
+
+TEST(MetricO, BoundedByOneOnReversal) {
+  // The reversal is the paper's worst case; O must be in (0, 1].
+  const std::size_t n = 101;
+  Trial a = cbr_trial(n, 10);
+  Trial b;
+  for (std::size_t i = n; i-- > 0;) b.push_back(a[i]);
+  const double o = compare_trials(a, b).metrics.ordering;
+  EXPECT_GT(o, 0.5);
+  EXPECT_LE(o, 1.0);
+}
+
+TEST(MetricO, IgnoresPacketsNotInA) {
+  // d_i = 0 for packets absent from A (covered by U instead).
+  Trial a = cbr_trial(3, 100);
+  Trial b = make_trial({1, 99, 2, 3}, {0, 50, 100, 200});
+  EXPECT_EQ(compare_trials(a, b).metrics.ordering, 0.0);
+}
+
+TEST(MetricL, ZeroForIdenticalTimes) {
+  const Trial a = cbr_trial(100, 280);
+  EXPECT_EQ(compare_trials(a, a).metrics.latency, 0.0);
+}
+
+TEST(MetricL, ConstantShiftCancels) {
+  // l is relative to each trial's first packet, so a rigid shift of all
+  // of B is invisible to L (and to I).
+  const Trial a = cbr_trial(100, 280);
+  const Trial b = cbr_trial(100, 280, /*start=*/123456);
+  const auto r = compare_trials(a, b);
+  EXPECT_EQ(r.metrics.latency, 0.0);
+  EXPECT_EQ(r.metrics.iat, 0.0);
+}
+
+TEST(MetricL, PaperExampleRelativeArrivals) {
+  // Section 3: common packet arrives 9 ns after start of A, 8 ns after
+  // start of B -> |l_A - l_B| = 1 for that packet.
+  Trial a = make_trial({1, 2}, {0, 9});
+  Trial b = make_trial({1, 2}, {0, 8});
+  const auto r = compare_trials(a, b);
+  // Numerator = |0-0| + |9-8| = 1. Denominator = 2 * max(8-0, 9-0) = 18.
+  EXPECT_NEAR(r.metrics.latency, 1.0 / 18.0, 1e-12);
+  EXPECT_NEAR(r.sum_abs_latency_delta_ns, 1.0, 1e-12);
+}
+
+TEST(MetricL, SinglePacketTrialsAreConsistent) {
+  Trial a = make_trial({1}, {100});
+  Trial b = make_trial({1}, {900});
+  const auto r = compare_trials(a, b);
+  EXPECT_EQ(r.metrics.latency, 0.0);
+  EXPECT_EQ(r.metrics.iat, 0.0);
+  EXPECT_EQ(r.metrics.kappa, 1.0);
+}
+
+TEST(MetricI, GapChangeMeasured) {
+  Trial a = make_trial({1, 2, 3}, {0, 100, 200});
+  Trial b = make_trial({1, 2, 3}, {0, 150, 200});
+  const auto r = compare_trials(a, b);
+  // g deltas: p1: 0 (first), p2: |100-150| = 50, p3: |100-50| = 50.
+  // Denominator = (200-0) + (200-0) = 400.
+  EXPECT_NEAR(r.metrics.iat, 100.0 / 400.0, 1e-12);
+  EXPECT_NEAR(r.sum_abs_iat_delta_ns, 100.0, 1e-12);
+}
+
+TEST(MetricI, FirstPacketBaseCaseIsZeroGap) {
+  // t_X0 = t_X(-1) so g_X0 = 0 by definition; a lone different gap to
+  // the first packet contributes nothing.
+  Trial a = make_trial({1, 2}, {0, 100});
+  Trial b = make_trial({1, 2}, {50, 150});
+  EXPECT_EQ(compare_trials(a, b).metrics.iat, 0.0);
+}
+
+TEST(MetricI, UsesFullTrialNeighborsNotJustCommon) {
+  // g is measured against the *previous packet in that trial*, even if
+  // that neighbor is not a common packet.
+  Trial a = make_trial({1, 2, 3}, {0, 100, 200});
+  Trial b = make_trial({1, 9, 3}, {0, 100, 200});  // 9 not in A
+  const auto r = compare_trials(a, b, {});
+  // Common = {1, 3}. g_A(3) = 100, g_B(3) = 100 -> I numerator 0.
+  EXPECT_EQ(r.metrics.iat, 0.0);
+  EXPECT_EQ(r.common, 2u);
+}
+
+TEST(Kappa, PerfectConsistencyIsOne) {
+  EXPECT_EQ(kappa_of(0, 0, 0, 0), 1.0);
+}
+
+TEST(Kappa, CompleteInconsistencyIsZero) {
+  EXPECT_NEAR(kappa_of(1, 1, 1, 1), 0.0, 1e-12);
+}
+
+TEST(Kappa, SingleComponentHalvesAtOne) {
+  EXPECT_NEAR(kappa_of(1, 0, 0, 0), 0.5, 1e-12);
+}
+
+TEST(Kappa, MatchesHandComputedVector) {
+  const double u = 0.1, o = 0.2, l = 0.3, i = 0.4;
+  const double expected = 1.0 - std::sqrt(u * u + o * o + l * l + i * i) / 2.0;
+  EXPECT_DOUBLE_EQ(kappa_of(u, o, l, i), expected);
+}
+
+TEST(Compare, SeriesCollectedOnRequest) {
+  const Trial a = cbr_trial(10, 100);
+  Trial b = cbr_trial(10, 100);
+  ComparisonOptions opt;
+  opt.collect_series = true;
+  const auto r = compare_trials(a, b, opt);
+  EXPECT_EQ(r.series.iat_delta_ns.size(), 10u);
+  EXPECT_EQ(r.series.latency_delta_ns.size(), 10u);
+  EXPECT_EQ(r.fraction_iat_within(10.0), 1.0);
+}
+
+TEST(Compare, SeriesSkippedByDefault) {
+  const Trial a = cbr_trial(10, 100);
+  const auto r = compare_trials(a, a);
+  EXPECT_TRUE(r.series.iat_delta_ns.empty());
+}
+
+TEST(Compare, FractionWithinThreshold) {
+  Trial a = make_trial({1, 2, 3, 4}, {0, 100, 200, 300});
+  Trial b = make_trial({1, 2, 3, 4}, {0, 100, 230, 300});
+  ComparisonOptions opt;
+  opt.collect_series = true;
+  const auto r = compare_trials(a, b, opt);
+  // Packet 3's gap changed by +30, packet 4's by -30; 2 of 4 within 10ns.
+  EXPECT_DOUBLE_EQ(r.fraction_iat_within(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.fraction_iat_within(30.0), 1.0);
+}
+
+TEST(Compare, CountsAreConsistent) {
+  Trial a = cbr_trial(20, 100);
+  Trial b;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (i % 5 == 0) continue;  // drop 4
+    b.push_back(a[i]);
+  }
+  const auto r = compare_trials(a, b);
+  EXPECT_EQ(r.size_a, 20u);
+  EXPECT_EQ(r.size_b, 16u);
+  EXPECT_EQ(r.common, 16u);
+  EXPECT_EQ(r.lcs_length, 16u);
+  EXPECT_EQ(r.moved, 0u);
+}
+
+TEST(Compare, MoveDistanceSeries) {
+  Trial a = cbr_trial(6, 100);
+  Trial b = make_trial({4, 5, 6, 1, 2, 3}, {0, 100, 200, 300, 400, 500});
+  ComparisonOptions opt;
+  opt.collect_series = true;
+  const auto r = compare_trials(a, b, opt);
+  EXPECT_EQ(r.series.move_distance.size(), r.moved);
+  for (const auto d : r.series.move_distance) {
+    EXPECT_EQ(std::abs(d), 3);
+  }
+}
+
+}  // namespace
+}  // namespace choir::core

@@ -1,0 +1,130 @@
+#include "net/poll_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace choir::net {
+namespace {
+
+using test::make_frame;
+
+NicConfig quiet() {
+  NicConfig cfg;
+  cfg.ts_noise_sigma_ns = 0.0;
+  cfg.wander_sigma_ns = 0.0;
+  cfg.stall_rate_hz = 0.0;
+  cfg.dma_pull_jitter_sigma_ns = 0.0;
+  return cfg;
+}
+
+struct PollFixture : ::testing::Test {
+  sim::EventQueue queue;
+  Link stub{queue};
+  pktio::Mempool pool{64};
+};
+
+TEST_F(PollFixture, ParksWhenIdle) {
+  PhysNic nic(queue, quiet(), Rng(1), stub);
+  Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  PollLoopConfig cfg;
+  cfg.interval = 1000;
+  cfg.idle_polls_to_park = 4;
+  cfg.jitter_sigma_ns = 0.0;
+  PollLoop loop(queue, vf, cfg, Rng(2));
+  loop.set_handler([] { return false; });
+  loop.start();
+  queue.run_until(milliseconds(1));
+  // 4 idle polls then parked; far fewer than 1000 iterations.
+  EXPECT_LE(loop.iterations(), 5u);
+  EXPECT_TRUE(loop.parked());
+}
+
+TEST_F(PollFixture, WakesOnTraffic) {
+  PhysNic nic(queue, quiet(), Rng(3), stub);
+  Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  PollLoopConfig cfg;
+  cfg.interval = 1000;
+  cfg.idle_polls_to_park = 2;
+  PollLoop loop(queue, vf, cfg, Rng(4));
+  int drained = 0;
+  loop.set_handler([&] {
+    pktio::Mbuf* out[8];
+    const auto n = vf.backend_rx(out, 8);
+    for (std::uint16_t i = 0; i < n; ++i) pktio::Mempool::release(out[i]);
+    drained += n;
+    return n > 0;
+  });
+  loop.start();
+  queue.run_until(milliseconds(1));
+  ASSERT_TRUE(loop.parked());
+
+  nic.deliver(make_frame(pool, 1400, 1), queue.now() + 10);
+  queue.run_until(queue.now() + milliseconds(1));
+  EXPECT_EQ(drained, 1);
+}
+
+TEST_F(PollFixture, WakeupPollLandsWithinOnePeriod) {
+  PhysNic nic(queue, quiet(), Rng(5), stub);
+  Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  PollLoopConfig cfg;
+  cfg.interval = 5000;
+  cfg.idle_polls_to_park = 1;
+  PollLoop loop(queue, vf, cfg, Rng(6));
+  Ns drain_time = -1;
+  loop.set_handler([&] {
+    pktio::Mbuf* out[8];
+    const auto n = vf.backend_rx(out, 8);
+    for (std::uint16_t i = 0; i < n; ++i) pktio::Mempool::release(out[i]);
+    if (n > 0 && drain_time < 0) drain_time = queue.now();
+    return n > 0;
+  });
+  loop.start();
+  queue.run_until(milliseconds(1));
+  const Ns arrival = queue.now() + 100;
+  nic.deliver(make_frame(pool, 1400, 1), arrival);
+  queue.run_until(arrival + 2 * cfg.interval);
+  ASSERT_GE(drain_time, arrival);
+  EXPECT_LE(drain_time - arrival, cfg.interval + 1);
+}
+
+TEST_F(PollFixture, KeepsPollingWhileBusy) {
+  PhysNic nic(queue, quiet(), Rng(7), stub);
+  Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  PollLoopConfig cfg;
+  cfg.interval = 500;
+  cfg.jitter_sigma_ns = 0.0;
+  PollLoop loop(queue, vf, cfg, Rng(8));
+  int polls_with_work = 0;
+  loop.set_handler([&] {
+    pktio::Mbuf* out[2];
+    const auto n = vf.backend_rx(out, 2);
+    for (std::uint16_t i = 0; i < n; ++i) pktio::Mempool::release(out[i]);
+    if (n > 0) ++polls_with_work;
+    return n > 0;
+  });
+  loop.start();
+  // Deliver a steady stream.
+  for (int i = 0; i < 20; ++i) {
+    nic.deliver(make_frame(pool, 1400, i), 1000 + i * 500);
+  }
+  queue.run_until(milliseconds(1));
+  EXPECT_GE(polls_with_work, 10);
+}
+
+TEST_F(PollFixture, StopHaltsIterations) {
+  PhysNic nic(queue, quiet(), Rng(9), stub);
+  Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  PollLoop loop(queue, vf, PollLoopConfig{}, Rng(10));
+  loop.set_handler([] { return true; });  // would poll forever
+  loop.start();
+  queue.run_until(microseconds(10));
+  const auto before = loop.iterations();
+  EXPECT_GT(before, 0u);
+  loop.stop();
+  queue.run_until(milliseconds(1));
+  EXPECT_LE(loop.iterations(), before + 1);
+}
+
+}  // namespace
+}  // namespace choir::net

@@ -1,0 +1,78 @@
+#include "testbed/presets.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace choir::testbed {
+namespace {
+
+TEST(Presets, AllNineEnvironmentsPresent) {
+  const auto presets = all_presets();
+  EXPECT_EQ(presets.size(), 9u);  // the nine Table 2 rows
+  std::set<std::string> names;
+  for (const auto& p : presets) names.insert(p.name);
+  EXPECT_EQ(names.size(), 9u);  // distinct
+}
+
+TEST(Presets, LocalDualHasTwoReplayers) {
+  EXPECT_EQ(local_single().replayers, 1);
+  EXPECT_EQ(local_dual().replayers, 2);
+  EXPECT_GT(local_dual().replayer_sync_fraction_of_run, 0.0);
+}
+
+TEST(Presets, RatesMatchPaper) {
+  EXPECT_DOUBLE_EQ(local_single().rate, gbps(40));
+  EXPECT_DOUBLE_EQ(fabric_dedicated_80().rate, gbps(80));
+  EXPECT_DOUBLE_EQ(fabric_shared_80().rate, gbps(80));
+  EXPECT_DOUBLE_EQ(fabric_shared_40_noisy().rate, gbps(40));
+  for (const auto& p : all_presets()) {
+    EXPECT_EQ(p.frame_bytes, 1400u);  // the paper's frame size throughout
+  }
+}
+
+TEST(Presets, NoiseTopologyFlags) {
+  EXPECT_FALSE(local_single().with_noise);
+  EXPECT_TRUE(fabric_shared_40_noisy().with_noise);
+  EXPECT_TRUE(fabric_shared_40_noisy().noise_shares_path);
+  // Dedicated NICs isolate the experiment from site noise.
+  EXPECT_TRUE(fabric_dedicated_80_noisy().with_noise);
+  EXPECT_FALSE(fabric_dedicated_80_noisy().noise_shares_path);
+}
+
+TEST(Presets, LocalQuieterThanFabric) {
+  // The paper's central finding: FABRIC adds IAT variance. The presets
+  // must encode that through the receive-stall process.
+  const auto local = local_single();
+  const auto fabric = fabric_dedicated_40_epoch1();
+  EXPECT_LT(local.recorder_nic.stall_rate_hz,
+            fabric.recorder_nic.stall_rate_hz);
+}
+
+TEST(Presets, SecondDedicatedEpochHasLargerWander) {
+  EXPECT_GT(fabric_dedicated_40_epoch2().recorder_nic.wander_sigma_ns,
+            fabric_dedicated_40_epoch1().recorder_nic.wander_sigma_ns * 5);
+}
+
+TEST(Presets, NoisePresetEnvelopeMatchesIperf) {
+  const auto p = fabric_shared_40_noisy();
+  EXPECT_DOUBLE_EQ(p.noise.min_rate, gbps(35));
+  EXPECT_DOUBLE_EQ(p.noise.max_rate, gbps(50));
+}
+
+TEST(Presets, SharedFlagConsistency) {
+  EXPECT_FALSE(fabric_dedicated_40_epoch1().shared_nics);
+  EXPECT_TRUE(fabric_shared_40().shared_nics);
+  EXPECT_TRUE(fabric_shared_80().shared_nics);
+}
+
+TEST(Presets, ChoirConfigsSane) {
+  for (const auto& p : all_presets()) {
+    EXPECT_GT(p.choir.poll.interval, 0);
+    EXPECT_GE(p.choir.loop_check_ns, 0.0);
+    EXPECT_GT(p.choir.max_recorded_packets, 1'000'000u);  // paper scale fits
+  }
+}
+
+}  // namespace
+}  // namespace choir::testbed

@@ -1,0 +1,189 @@
+// Message-level PTP: offset estimation, servo convergence, asymmetry
+// bias, and behaviour over a contended in-band path.
+#include "net/ptp_protocol.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/switch.hpp"
+#include "test_helpers.hpp"
+
+namespace choir::net {
+namespace {
+
+NicConfig quiet() {
+  NicConfig cfg;
+  cfg.ts_noise_sigma_ns = 0.0;
+  cfg.wander_sigma_ns = 0.0;
+  cfg.stall_rate_hz = 0.0;
+  cfg.dma_pull_jitter_sigma_ns = 0.0;
+  return cfg;
+}
+
+pktio::FlowAddress master_to_slave() {
+  pktio::FlowAddress f;
+  f.src_mac = pktio::mac_for_node(1);
+  f.dst_mac = pktio::mac_for_node(2);
+  f.src_ip = pktio::ip_for_node(1);
+  f.dst_ip = pktio::ip_for_node(2);
+  return f;
+}
+
+TEST(PtpCodec, RoundTrip) {
+  pktio::Frame frame;
+  const PtpMessage msg{PtpMessageType::kFollowUp, 42, 123456789};
+  encode_ptp(frame, master_to_slave(), msg);
+  const auto decoded = decode_ptp(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, PtpMessageType::kFollowUp);
+  EXPECT_EQ(decoded->sequence, 42);
+  EXPECT_EQ(decoded->origin_timestamp, 123456789);
+}
+
+TEST(PtpCodec, RejectsNonPtpFrames) {
+  pktio::Frame frame;
+  frame.wire_len = 100;
+  pktio::write_eth_ipv4_udp(frame, master_to_slave());
+  EXPECT_FALSE(decode_ptp(frame).has_value());
+}
+
+/// Two nodes joined by a symmetric switch path; slave starts with a
+/// known clock error.
+struct PtpFixture : ::testing::Test {
+  sim::EventQueue queue;
+  Switch sw{queue, SwitchConfig{}, Rng(1)};
+  std::size_t m_in = sw.add_port();
+  std::size_t m_out = sw.add_port();
+  std::size_t s_in = sw.add_port();
+  std::size_t s_out = sw.add_port();
+
+  Link m_link{queue}, s_link{queue};
+  PhysNic master_nic{queue, quiet(), Rng(2), m_link};
+  PhysNic slave_nic{queue, quiet(), Rng(3), s_link};
+  Vf& master_vf{master_nic.add_vf(pktio::mac_for_node(1))};
+  Vf& slave_vf{slave_nic.add_vf(pktio::mac_for_node(2))};
+  pktio::Mempool m_pool{256}, s_pool{256};
+
+  sim::NodeClock master_clock{sim::TscClock(2.5), sim::SystemClock(0)};
+  sim::NodeClock slave_clock{sim::TscClock(2.5),
+                             sim::SystemClock(50'000)};  // 50 us off
+
+  PtpFixture() {
+    m_link.connect(sw.ingress(m_in));
+    s_link.connect(sw.ingress(s_in));
+    sw.set_mac_route(pktio::mac_for_node(2), m_out);
+    sw.set_mac_route(pktio::mac_for_node(1), s_out);
+    sw.egress_link(m_out).connect(slave_nic);
+    sw.egress_link(s_out).connect(master_nic);
+  }
+};
+
+pktio::FlowAddress slave_to_master() {
+  auto f = master_to_slave();
+  std::swap(f.src_mac, f.dst_mac);
+  std::swap(f.src_ip, f.dst_ip);
+  return f;
+}
+
+TEST_F(PtpFixture, ExchangeCompletes) {
+  PtpMaster master(queue, master_clock, master_vf, m_pool,
+                   master_to_slave(), {}, Rng(4));
+  PtpSlave slave(queue, slave_clock, slave_vf, s_pool, slave_to_master(),
+                 {}, Rng(5));
+  master.start();
+  slave.start();
+  queue.run_until(seconds(1));
+  EXPECT_GT(master.syncs_sent(), 5u);
+  EXPECT_GT(slave.exchanges_completed(), 5u);
+  EXPECT_EQ(master.delay_reqs_answered(), slave.exchanges_completed());
+}
+
+TEST_F(PtpFixture, ServoConvergesFromLargeOffset) {
+  PtpMaster::Config mcfg;
+  mcfg.stamp_sigma_ns = 10.0;
+  PtpSlave::Config scfg;
+  scfg.stamp_sigma_ns = 10.0;
+  PtpMaster master(queue, master_clock, master_vf, m_pool,
+                   master_to_slave(), mcfg, Rng(6));
+  PtpSlave slave(queue, slave_clock, slave_vf, s_pool, slave_to_master(),
+                 scfg, Rng(7));
+  master.start();
+  slave.start();
+  EXPECT_NEAR(slave_clock.system.current_offset(queue.now()), 50'000, 1);
+  queue.run_until(seconds(2));
+  // After many exchanges the 50 us initial error collapses to the
+  // software-stamping floor (tens of ns).
+  EXPECT_LT(std::abs(slave_clock.system.current_offset(queue.now())), 200.0);
+  EXPECT_GT(slave.exchanges_completed(), 10u);
+  // Path delay estimate is positive and on the scale of the two-hop
+  // switch path (processing + serialization + cables).
+  EXPECT_GT(slave.last_path_delay_ns(), 100.0);
+  EXPECT_LT(slave.last_path_delay_ns(), 10'000.0);
+}
+
+TEST_F(PtpFixture, AsymmetricPathBiasesOffset) {
+  // Classic PTP failure: extra delay on the master->slave leg shifts the
+  // offset estimate by half the asymmetry. Add 10 us of cable on that
+  // leg only.
+  sw.egress_link(m_out).connect(slave_nic);  // reconnect with new config
+  // Rebuild the asymmetric leg: a long cable from switch to slave.
+  // (LinkConfig is fixed at port creation; emulate by inserting delay at
+  // the slave's ingress through a second switch port pair.)
+  // Simpler: a dedicated switch with a slow egress link.
+  sim::EventQueue q2;
+  Switch sw2(q2, SwitchConfig{}, Rng(8));
+  const auto a_in = sw2.add_port(LinkConfig{50});
+  const auto to_slave = sw2.add_port(LinkConfig{10'050});  // +10 us leg
+  const auto b_in = sw2.add_port(LinkConfig{50});
+  const auto to_master = sw2.add_port(LinkConfig{50});
+  Link ml(q2), sl(q2);
+  PhysNic mnic(q2, quiet(), Rng(9), ml);
+  PhysNic snic(q2, quiet(), Rng(10), sl);
+  Vf& mvf = mnic.add_vf(pktio::mac_for_node(1));
+  Vf& svf = snic.add_vf(pktio::mac_for_node(2));
+  ml.connect(sw2.ingress(a_in));
+  sl.connect(sw2.ingress(b_in));
+  sw2.set_mac_route(pktio::mac_for_node(2), to_slave);
+  sw2.set_mac_route(pktio::mac_for_node(1), to_master);
+  sw2.egress_link(to_slave).connect(snic);
+  sw2.egress_link(to_master).connect(mnic);
+  pktio::Mempool mp(256), sp(256);
+  sim::NodeClock mclk{sim::TscClock(2.5), sim::SystemClock(0)};
+  sim::NodeClock sclk{sim::TscClock(2.5), sim::SystemClock(0)};  // in sync!
+
+  PtpMaster::Config mcfg;
+  mcfg.stamp_sigma_ns = 0.0;
+  PtpSlave::Config scfg;
+  scfg.stamp_sigma_ns = 0.0;
+  PtpMaster master(q2, mclk, mvf, mp, master_to_slave(), mcfg, Rng(11));
+  PtpSlave slave(q2, sclk, svf, sp, slave_to_master(), scfg, Rng(12));
+  master.start();
+  slave.start();
+  q2.run_until(seconds(2));
+  // The slave was perfectly synchronized; asymmetry drags it off by
+  // about half of 10 us.
+  EXPECT_NEAR(std::abs(sclk.system.current_offset(q2.now())), 5'000.0,
+              1'000.0);
+  EXPECT_GT(slave.exchanges_completed(), 5u);
+}
+
+TEST_F(PtpFixture, StampNoiseSetsResidualFloor) {
+  PtpMaster::Config mcfg;
+  mcfg.stamp_sigma_ns = 500.0;  // sloppy software stamps
+  PtpSlave::Config scfg;
+  scfg.stamp_sigma_ns = 500.0;
+  PtpMaster master(queue, master_clock, master_vf, m_pool,
+                   master_to_slave(), mcfg, Rng(13));
+  PtpSlave slave(queue, slave_clock, slave_vf, s_pool, slave_to_master(),
+                 scfg, Rng(14));
+  master.start();
+  slave.start();
+  queue.run_until(seconds(4));
+  // Offsets keep bouncing on the order of the stamp noise; they never
+  // settle to the quiet-path floor.
+  EXPECT_GT(slave.mean_abs_offset_ns(), 100.0);
+}
+
+}  // namespace
+}  // namespace choir::net

@@ -1,0 +1,119 @@
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace choir::trace {
+namespace {
+
+net::NicConfig quiet() {
+  net::NicConfig cfg;
+  cfg.ts_noise_sigma_ns = 0.0;
+  cfg.wander_sigma_ns = 0.0;
+  cfg.stall_rate_hz = 0.0;
+  cfg.dma_pull_jitter_sigma_ns = 0.0;
+  return cfg;
+}
+
+struct RecorderFixture : ::testing::Test {
+  sim::EventQueue queue;
+  net::Link stub{queue};
+  pktio::Mempool pool{4096};
+
+  void deliver_n(net::PhysNic& nic, int n, Ns start, Ns gap) {
+    for (int i = 0; i < n; ++i) {
+      nic.deliver(test::make_frame(pool, 1400, i, 1, 2), start + i * gap);
+    }
+  }
+};
+
+TEST_F(RecorderFixture, RecordsWithinArmedWindow) {
+  net::PhysNic nic(queue, quiet(), Rng(1), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(2));
+  Capture cap("window");
+  daemon.arm(microseconds(10), milliseconds(1), &cap);
+  queue.run_until(microseconds(20));
+  deliver_n(nic, 50, queue.now(), 280);
+  queue.run();
+  EXPECT_EQ(cap.size(), 50u);
+  EXPECT_EQ(daemon.recorded(), 50u);
+}
+
+TEST_F(RecorderFixture, DiscardsOutsideWindow) {
+  net::PhysNic nic(queue, quiet(), Rng(3), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(4));
+  Capture cap("window");
+  daemon.arm(milliseconds(10), milliseconds(20), &cap);
+  // Traffic before the window opens.
+  deliver_n(nic, 30, microseconds(1), 280);
+  queue.run();
+  EXPECT_EQ(cap.size(), 0u);
+  EXPECT_EQ(daemon.discarded(), 30u);
+}
+
+TEST_F(RecorderFixture, PreservesArrivalOrderAndTimestamps) {
+  net::PhysNic nic(queue, quiet(), Rng(5), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(6));
+  Capture cap("order");
+  daemon.arm(0, seconds(1), &cap);
+  deliver_n(nic, 100, microseconds(5), 280);
+  queue.run();
+  ASSERT_EQ(cap.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(cap[i].payload_token, i);
+    EXPECT_EQ(cap[i].timestamp, microseconds(5) + static_cast<Ns>(i) * 280);
+  }
+}
+
+TEST_F(RecorderFixture, ReleasesBuffersAfterRecording) {
+  net::PhysNic nic(queue, quiet(), Rng(7), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(8));
+  Capture cap("release");
+  daemon.arm(0, seconds(1), &cap);
+  deliver_n(nic, 200, microseconds(5), 280);
+  queue.run();
+  EXPECT_EQ(pool.available(), pool.capacity());
+}
+
+TEST_F(RecorderFixture, BackToBackWindowsSegmentRuns) {
+  net::PhysNic nic(queue, quiet(), Rng(9), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(10));
+  Capture run_a("a"), run_b("b");
+  daemon.arm(0, milliseconds(1), &run_a);
+  daemon.arm(milliseconds(2), milliseconds(3), &run_b);
+  // Delivered in chronological order, as a real wire would.
+  deliver_n(nic, 10, microseconds(100), 280);        // run A
+  deliver_n(nic, 5, milliseconds(1) + 1000, 280);    // gap: discarded
+  deliver_n(nic, 20, milliseconds(2) + 1000, 280);   // run B
+  queue.run();
+  EXPECT_EQ(run_a.size(), 10u);
+  EXPECT_EQ(run_b.size(), 20u);
+  EXPECT_EQ(daemon.discarded(), 5u);
+}
+
+TEST_F(RecorderFixture, KeepsUpWithFortyGig) {
+  net::PhysNic nic(queue, quiet(), Rng(11), stub);
+  net::Vf& vf = nic.add_vf(pktio::mac_for_node(2));
+  CaptureDaemon daemon(queue, vf, {}, Rng(12));
+  Capture cap("fast");
+  daemon.arm(0, seconds(1), &cap);
+  pktio::Mempool big(20000);
+  deliver_n(nic, 1, microseconds(1), 0);
+  for (int i = 0; i < 10000; ++i) {
+    nic.deliver(test::make_frame(big, 1400, i, 1, 2),
+                microseconds(2) + i * 280);
+  }
+  queue.run();
+  EXPECT_EQ(cap.size(), 10001u);
+  EXPECT_EQ(vf.imissed(), 0u);
+}
+
+}  // namespace
+}  // namespace choir::trace

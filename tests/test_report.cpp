@@ -1,0 +1,71 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace choir::analysis {
+namespace {
+
+TEST(FormatMetric, ZeroIsBareZero) {
+  EXPECT_EQ(format_metric(0.0), "0");
+}
+
+TEST(FormatMetric, SmallValuesScientific) {
+  EXPECT_EQ(format_metric(2.62e-6), "2.62e-06");
+  EXPECT_EQ(format_metric(-4.82e-5), "-4.82e-05");
+}
+
+TEST(FormatMetric, OrdinaryValuesFixed) {
+  EXPECT_EQ(format_metric(0.9853), "0.9853");
+  EXPECT_EQ(format_metric(0.0294), "0.0294");
+}
+
+TEST(MetricsCells, Table2ColumnOrder) {
+  core::ConsistencyMetrics m;
+  m.uniqueness = 0.0;
+  m.ordering = 0.0259;
+  m.iat = 0.2022;
+  m.latency = 9.68e-3;
+  m.kappa = 0.9282;
+  const auto cells = metrics_cells(m);
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0], "0");        // U
+  EXPECT_EQ(cells[1], "0.0259");   // O
+  EXPECT_EQ(cells[2], "0.2022");   // I
+  EXPECT_EQ(cells[3], "0.0097");   // L
+  EXPECT_EQ(cells[4], "0.9282");   // kappa
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Env", "kappa"});
+  t.add_row({"local-single", "0.9853"});
+  t.add_row({"x", "1"});
+  const std::string s = t.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Every line same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, ContainsMarkdownRule) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  EXPECT_NE(t.str().find("|--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace choir::analysis

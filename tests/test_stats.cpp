@@ -1,0 +1,86 @@
+#include "analysis/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace choir::analysis {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const SummaryStats s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const SummaryStats s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleValue) {
+  const std::vector<double> v{42.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Stats, SummarizeInt64) {
+  const std::vector<std::int64_t> v{-10, 0, 10};
+  const SummaryStats s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -10.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(Stats, SummarizeAbsMatchesTable1Semantics) {
+  // Table 1 reports both signed Mean and Abs. Mean of move distances.
+  const std::vector<std::int64_t> v{-5632, 16573, -100, 100};
+  const SummaryStats signed_stats = summarize(v);
+  const SummaryStats abs_stats = summarize_abs(v);
+  EXPECT_NEAR(signed_stats.mean, (16573.0 - 5632.0) / 4.0, 1e-9);
+  EXPECT_NEAR(abs_stats.mean, (5632.0 + 16573.0 + 200.0) / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(abs_stats.min, 100.0);
+  EXPECT_DOUBLE_EQ(abs_stats.max, 16573.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 5.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<double> v{40, 0, 30, 10, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 20.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 50), Error);
+  EXPECT_THROW(percentile({1.0}, 101), Error);
+  EXPECT_THROW(percentile({1.0}, -1), Error);
+}
+
+TEST(Stats, FractionWithin) {
+  const std::vector<double> v{-15, -5, 0, 5, 15};
+  EXPECT_DOUBLE_EQ(fraction_within(v, 10.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_within(v, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within(v, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(fraction_within(std::vector<double>{}, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace choir::analysis

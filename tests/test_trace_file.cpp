@@ -1,0 +1,103 @@
+#include "trace/trace_file.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "core/metrics.hpp"
+#include "trace/tag.hpp"
+
+namespace choir::trace {
+namespace {
+
+struct TraceFileTest : ::testing::Test {
+  std::string path;
+  void SetUp() override {
+    path = ::testing::TempDir() + "choir_trace_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".trc";
+  }
+  void TearDown() override { std::remove(path.c_str()); }
+};
+
+Capture sample_capture(std::size_t n) {
+  Capture cap("sample");
+  for (std::size_t i = 0; i < n; ++i) {
+    pktio::Frame frame;
+    frame.wire_len = 1400;
+    frame.header_len = 42;
+    frame.header[0] = static_cast<std::uint8_t>(i);
+    frame.payload_token = i * 31;
+    stamp(frame, Tag{2, 1, i});
+    cap.append(CaptureRecord::from_frame(frame, static_cast<Ns>(i) * 280));
+  }
+  return cap;
+}
+
+TEST_F(TraceFileTest, RoundTripPreservesRecords) {
+  const Capture original = sample_capture(100);
+  write_trace(original, path);
+  const Capture loaded = read_trace(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, original[i].timestamp);
+    EXPECT_EQ(loaded[i].wire_len, original[i].wire_len);
+    EXPECT_EQ(loaded[i].header_len, original[i].header_len);
+    EXPECT_EQ(loaded[i].header, original[i].header);
+    EXPECT_EQ(loaded[i].has_trailer, original[i].has_trailer);
+    EXPECT_EQ(loaded[i].trailer, original[i].trailer);
+    EXPECT_EQ(loaded[i].payload_token, original[i].payload_token);
+  }
+}
+
+TEST_F(TraceFileTest, EmptyCaptureRoundTrips) {
+  write_trace(Capture("empty"), path);
+  EXPECT_EQ(read_trace(path).size(), 0u);
+}
+
+TEST_F(TraceFileTest, TrialIdenticalAfterRoundTrip) {
+  const Capture original = sample_capture(50);
+  write_trace(original, path);
+  const Capture loaded = read_trace(path);
+  const auto r = core::compare_trials(original.to_trial(), loaded.to_trial());
+  EXPECT_EQ(r.metrics.kappa, 1.0);
+}
+
+TEST_F(TraceFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace(path + ".does-not-exist"), Error);
+}
+
+TEST_F(TraceFileTest, BadMagicRejected) {
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTATRACE-FILE-AT-ALL";
+  out.close();
+  EXPECT_THROW(read_trace(path), Error);
+}
+
+TEST_F(TraceFileTest, TruncatedFileRejected) {
+  write_trace(sample_capture(10), path);
+  // Chop the last record in half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::in);
+  out.close();
+  ASSERT_EQ(truncate(path.c_str(), size - 20), 0);
+  EXPECT_THROW(read_trace(path), Error);
+}
+
+TEST_F(TraceFileTest, NegativeTimestampsSupported) {
+  Capture cap("neg");
+  pktio::Frame frame;
+  frame.wire_len = 64;
+  cap.append(CaptureRecord::from_frame(frame, -12345));
+  write_trace(cap, path);
+  EXPECT_EQ(read_trace(path)[0].timestamp, -12345);
+}
+
+}  // namespace
+}  // namespace choir::trace

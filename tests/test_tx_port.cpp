@@ -1,0 +1,128 @@
+#include "net/tx_port.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace choir::net {
+namespace {
+
+using test::SinkEndpoint;
+using test::make_frame;
+
+struct TxPortFixture : ::testing::Test {
+  sim::EventQueue queue;
+  SinkEndpoint sink;
+  Link link{queue, LinkConfig{0}};  // zero propagation for exact math
+  pktio::Mempool pool{64};
+
+  TxPortFixture() { link.connect(sink); }
+};
+
+TEST_F(TxPortFixture, SerializesAtLineRate) {
+  TxPort port(queue, link, gbps(100), 16);
+  port.submit(make_frame(pool, 1400, 1), 0);
+  queue.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].wire_time, 112);  // 1400 B at 100 G
+}
+
+TEST_F(TxPortFixture, BackToBackFramesSpaceBySerialization) {
+  TxPort port(queue, link, gbps(100), 16);
+  for (int i = 0; i < 4; ++i) port.submit(make_frame(pool, 1400, i), 0);
+  queue.run();
+  ASSERT_EQ(sink.deliveries.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.deliveries[i].wire_time, 112 * (i + 1));
+  }
+}
+
+TEST_F(TxPortFixture, NotBeforeDelaysStart) {
+  TxPort port(queue, link, gbps(100), 16);
+  port.submit(make_frame(pool, 1400, 1), 1000);
+  queue.run();
+  EXPECT_EQ(sink.deliveries[0].wire_time, 1112);
+}
+
+TEST_F(TxPortFixture, PacedSubmissionsKeepExactGaps) {
+  // CBR pacing: frame n not-before n*280; wire is otherwise idle.
+  TxPort port(queue, link, gbps(100), 64);
+  for (int i = 0; i < 10; ++i) {
+    port.submit(make_frame(pool, 1400, i), i * 280);
+  }
+  queue.run();
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(sink.deliveries[i].wire_time - sink.deliveries[i - 1].wire_time,
+              280);
+  }
+}
+
+TEST_F(TxPortFixture, ContentionQueuesInOrder) {
+  // Two streams submitted at the same instant interleave in submission
+  // order and never overlap on the wire.
+  TxPort port(queue, link, gbps(100), 64);
+  for (int i = 0; i < 8; ++i) port.submit(make_frame(pool, 700, i), 0);
+  queue.run();
+  Ns prev = 0;
+  for (const auto& d : sink.deliveries) {
+    EXPECT_GE(d.wire_time - prev, 56);  // 700 B at 100 G
+    prev = d.wire_time;
+  }
+  for (std::size_t i = 0; i < sink.deliveries.size(); ++i) {
+    EXPECT_EQ(sink.deliveries[i].payload_token, i);
+  }
+}
+
+TEST_F(TxPortFixture, TailDropBeyondQueueCapacity) {
+  TxPort port(queue, link, gbps(100), 4);
+  for (int i = 0; i < 10; ++i) port.submit(make_frame(pool, 1400, i), 0);
+  EXPECT_EQ(port.drops(), 6u);
+  queue.run();
+  EXPECT_EQ(sink.deliveries.size(), 4u);
+  EXPECT_EQ(port.frames_sent(), 4u);
+  // Dropped buffers were released back to the pool.
+  EXPECT_EQ(pool.available(), pool.capacity());
+}
+
+TEST_F(TxPortFixture, QueueDrainsThenAcceptsAgain) {
+  TxPort port(queue, link, gbps(100), 2);
+  port.submit(make_frame(pool, 1400, 1), 0);
+  port.submit(make_frame(pool, 1400, 2), 0);
+  EXPECT_FALSE(port.submit(make_frame(pool, 1400, 3), 0));
+  queue.run();
+  EXPECT_TRUE(port.submit(make_frame(pool, 1400, 4), queue.now()));
+  queue.run();
+  EXPECT_EQ(sink.deliveries.size(), 3u);
+}
+
+TEST_F(TxPortFixture, BytesAndFramesCounted) {
+  TxPort port(queue, link, gbps(40), 16);
+  port.submit(make_frame(pool, 1000, 1), 0);
+  port.submit(make_frame(pool, 500, 2), 0);
+  queue.run();
+  EXPECT_EQ(port.frames_sent(), 2u);
+  EXPECT_EQ(port.bytes_sent(), 1500u);
+}
+
+TEST_F(TxPortFixture, UnconnectedLinkBlackholes) {
+  Link dangling(queue);
+  TxPort port(queue, dangling, gbps(100), 16);
+  port.submit(make_frame(pool, 1400, 1), 0);
+  queue.run();
+  EXPECT_EQ(pool.available(), pool.capacity());  // released, not leaked
+}
+
+TEST(TxPortLink, PropagationDelayAdds) {
+  sim::EventQueue queue;
+  SinkEndpoint sink;
+  Link link(queue, LinkConfig{500});
+  link.connect(sink);
+  pktio::Mempool pool(4);
+  TxPort port(queue, link, gbps(100), 4);
+  port.submit(make_frame(pool, 1400, 1), 0);
+  queue.run();
+  EXPECT_EQ(sink.deliveries[0].wire_time, 112 + 500);
+}
+
+}  // namespace
+}  // namespace choir::net

@@ -1,0 +1,63 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace choir {
+namespace {
+
+TEST(Units, TimeConstructors) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1000000);
+  EXPECT_EQ(seconds(1), 1000000000);
+  EXPECT_EQ(seconds(0.3), 300000000);
+}
+
+TEST(Units, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+}
+
+TEST(Units, RateConstructors) {
+  EXPECT_DOUBLE_EQ(gbps(100), 1e11);
+  EXPECT_DOUBLE_EQ(mbps(10), 1e7);
+}
+
+TEST(Units, SerializationAt100G) {
+  // 1400 bytes at 100 Gbps = 112 ns.
+  EXPECT_EQ(serialization_ns(1400, gbps(100)), 112);
+}
+
+TEST(Units, SerializationAt40G) {
+  // 1400 bytes at 40 Gbps = 280 ns.
+  EXPECT_EQ(serialization_ns(1400, gbps(40)), 280);
+}
+
+TEST(Units, SerializationRounds) {
+  // 64 bytes at 100G = 5.12 ns -> rounds to 5.
+  EXPECT_EQ(serialization_ns(64, gbps(100)), 5);
+}
+
+TEST(Units, SerializationZeroRateIsInstant) {
+  EXPECT_EQ(serialization_ns(1400, 0.0), 0);
+  EXPECT_EQ(serialization_ns(1400, -1.0), 0);
+}
+
+TEST(Units, PacketsPerSecond) {
+  // The paper: 40 Gbps of 1400-byte packets = 3.57 Mpps nominal
+  // (3.52 Mpps measured after overheads).
+  EXPECT_NEAR(packets_per_sec(1400, gbps(40)), 3.571e6, 1e3);
+}
+
+TEST(Units, MeanIatMatchesRate) {
+  const double iat = mean_iat_ns(1400, gbps(40));
+  EXPECT_NEAR(iat, 280.0, 0.01);
+  // Consistency: iat * pps == 1 second.
+  EXPECT_NEAR(iat * packets_per_sec(1400, gbps(40)), 1e9, 1.0);
+}
+
+TEST(Units, EightyGigHalvesGap) {
+  EXPECT_NEAR(mean_iat_ns(1400, gbps(80)) * 2.0, mean_iat_ns(1400, gbps(40)),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace choir

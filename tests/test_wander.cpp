@@ -1,0 +1,68 @@
+#include "net/wander.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace choir::net {
+namespace {
+
+TEST(Wander, DisabledReturnsZero) {
+  WanderProcess w(0.0, 0.8, milliseconds(10), Rng(1));
+  for (Ns t = 0; t < seconds(1); t += milliseconds(7)) {
+    EXPECT_EQ(w.value(t), 0.0);
+  }
+}
+
+TEST(Wander, ContinuousBetweenUpdates) {
+  WanderProcess w(1000.0, 0.8, milliseconds(10), Rng(2));
+  double prev = w.value(0);
+  for (Ns t = 1000; t < milliseconds(100); t += 1000) {
+    const double v = w.value(t);
+    // With 1 us steps inside 10 ms intervals the slope is tiny.
+    EXPECT_LT(std::abs(v - prev), 50.0);
+    prev = v;
+  }
+}
+
+TEST(Wander, StationaryAmplitudeNearSigma) {
+  WanderProcess w(500.0, 0.7, milliseconds(1), Rng(3));
+  double sq = 0;
+  int n = 0;
+  for (Ns t = 0; t < seconds(10); t += milliseconds(1)) {
+    const double v = w.value(t);
+    sq += v * v;
+    ++n;
+  }
+  const double rms = std::sqrt(sq / n);
+  EXPECT_NEAR(rms, 500.0, 120.0);
+}
+
+TEST(Wander, DeterministicPerSeed) {
+  WanderProcess a(800.0, 0.75, milliseconds(10), Rng(4));
+  WanderProcess b(800.0, 0.75, milliseconds(10), Rng(4));
+  for (Ns t = 0; t < milliseconds(200); t += microseconds(333)) {
+    ASSERT_DOUBLE_EQ(a.value(t), b.value(t));
+  }
+}
+
+TEST(Wander, DifferentSeedsDiffer) {
+  WanderProcess a(800.0, 0.75, milliseconds(10), Rng(5));
+  WanderProcess b(800.0, 0.75, milliseconds(10), Rng(6));
+  double diff = 0;
+  for (Ns t = 0; t < milliseconds(100); t += milliseconds(5)) {
+    diff += std::abs(a.value(t) - b.value(t));
+  }
+  EXPECT_GT(diff, 100.0);
+}
+
+TEST(Wander, DecorrelatesOverManyIntervals) {
+  WanderProcess w(1000.0, 0.5, milliseconds(1), Rng(7));
+  const double v0 = w.value(0);
+  // After 50 intervals at rho=0.5, correlation with v0 is ~2^-50.
+  const double v_far = w.value(milliseconds(50));
+  EXPECT_NE(v0, v_far);
+}
+
+}  // namespace
+}  // namespace choir::net

@@ -1,0 +1,108 @@
+#include "core/weighted_kappa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace choir::core {
+namespace {
+
+TEST(WeightedKappa, LinearMatchesEq5) {
+  const KappaScaling linear = KappaScaling::linear();
+  for (const auto& [u, o, l, i] :
+       {std::tuple{0.0, 0.0, 0.0, 0.0}, std::tuple{1.0, 1.0, 1.0, 1.0},
+        std::tuple{0.1, 0.02, 1e-5, 0.5}}) {
+    EXPECT_NEAR(scaled_kappa(u, o, l, i, linear), kappa_of(u, o, l, i),
+                1e-12);
+  }
+}
+
+TEST(WeightedKappa, BoundsHold) {
+  for (const KappaScaling& s :
+       {KappaScaling::linear(), KappaScaling::presence_sensitive(),
+        KappaScaling::range_equalized()}) {
+    EXPECT_DOUBLE_EQ(scaled_kappa(0, 0, 0, 0, s), 1.0);
+    EXPECT_NEAR(scaled_kappa(1, 1, 1, 1, s), 0.0, 1e-12);
+    const double mid = scaled_kappa(0.3, 0.1, 0.01, 0.4, s);
+    EXPECT_GT(mid, 0.0);
+    EXPECT_LT(mid, 1.0);
+  }
+}
+
+TEST(WeightedKappa, MonotoneInEveryComponent) {
+  const KappaScaling s = KappaScaling::presence_sensitive();
+  const double base = scaled_kappa(0.1, 0.1, 0.1, 0.1, s);
+  EXPECT_LT(scaled_kappa(0.2, 0.1, 0.1, 0.1, s), base);
+  EXPECT_LT(scaled_kappa(0.1, 0.2, 0.1, 0.1, s), base);
+  EXPECT_LT(scaled_kappa(0.1, 0.1, 0.2, 0.1, s), base);
+  EXPECT_LT(scaled_kappa(0.1, 0.1, 0.1, 0.2, s), base);
+}
+
+TEST(WeightedKappa, PresenceSensitiveAmplifiesTinyDrops) {
+  // The paper's noisy run: U ~ 2e-4 barely moves linear kappa. With
+  // sqrt scaling the presence of drops costs visibly more.
+  const double linear_gap = kappa_of(0, 0, 0, 0) - kappa_of(2e-4, 0, 0, 0);
+  const KappaScaling s = KappaScaling::presence_sensitive();
+  const double scaled_gap =
+      scaled_kappa(0, 0, 0, 0, s) - scaled_kappa(2e-4, 0, 0, 0, s);
+  EXPECT_GT(scaled_gap, 20.0 * linear_gap);
+}
+
+TEST(WeightedKappa, RangeEqualizedLiftsLatencyVisibility) {
+  // L varying within 1e-4 moves the equalized score more than it moves
+  // the linear score.
+  const KappaScaling eq = KappaScaling::range_equalized();
+  const double linear_gap = kappa_of(0, 0, 0, 0.1) - kappa_of(0, 0, 1e-4, 0.1);
+  const double eq_gap = scaled_kappa(0, 0, 0, 0.1, eq) -
+                        scaled_kappa(0, 0, 1e-4, 0.1, eq);
+  EXPECT_GT(eq_gap, 5.0 * std::abs(linear_gap));
+}
+
+TEST(WeightedKappa, WeightsAreRelative) {
+  // Doubling all weights changes nothing (only ratios matter).
+  KappaScaling a = KappaScaling::linear();
+  KappaScaling b = a;
+  b.weight_uniqueness *= 2;
+  b.weight_ordering *= 2;
+  b.weight_latency *= 2;
+  b.weight_iat *= 2;
+  EXPECT_NEAR(scaled_kappa(0.2, 0.1, 0.3, 0.05, a),
+              scaled_kappa(0.2, 0.1, 0.3, 0.05, b), 1e-12);
+}
+
+TEST(WeightedKappa, FromMetricsStruct) {
+  ConsistencyMetrics m;
+  m.uniqueness = 0.1;
+  m.ordering = 0.2;
+  m.latency = 0.3;
+  m.iat = 0.4;
+  EXPECT_NEAR(scaled_kappa(m, KappaScaling::linear()),
+              kappa_of(0.1, 0.2, 0.3, 0.4), 1e-12);
+}
+
+TEST(WeightedKappa, ValidationRejectsBadParameters) {
+  KappaScaling zero_weight;
+  zero_weight.weight_iat = 0.0;
+  EXPECT_THROW(scaled_kappa(0, 0, 0, 0, zero_weight), Error);
+  KappaScaling bad_exponent;
+  bad_exponent.exponent_uniqueness = 1.5;
+  EXPECT_THROW(scaled_kappa(0, 0, 0, 0, bad_exponent), Error);
+  KappaScaling zero_exponent;
+  zero_exponent.exponent_ordering = 0.0;
+  EXPECT_THROW(scaled_kappa(0, 0, 0, 0, zero_exponent), Error);
+  EXPECT_THROW(scaled_kappa(1.5, 0, 0, 0, KappaScaling::linear()), Error);
+}
+
+TEST(WeightedKappa, RankingPreservedAcrossScalings) {
+  // Dominance: if every component of X exceeds Y's, every scaling ranks
+  // X below Y.
+  for (const KappaScaling& s :
+       {KappaScaling::linear(), KappaScaling::presence_sensitive(),
+        KappaScaling::range_equalized()}) {
+    EXPECT_LT(scaled_kappa(0.2, 0.2, 0.2, 0.2, s),
+              scaled_kappa(0.1, 0.1, 0.1, 0.1, s));
+  }
+}
+
+}  // namespace
+}  // namespace choir::core

@@ -1,0 +1,240 @@
+// choirctl — command-line front end for the Choir experiment suite.
+//
+// Subcommands:
+//   list                      list environment presets
+//   run <env> [opts]          run an experiment, print metrics
+//   figure <env> [opts]       run and print IAT/latency histograms
+//   save <env> <dir> [opts]   run and write per-run .trc and .pcap files
+//   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
+//
+// Options:
+//   --packets N    packets per trial (default: CHOIR_SCALE or 120000)
+//   --runs N       replays including run A (default 5)
+//   --seed N       experiment seed (default 1)
+//   --engine E     choir | sleep | busywait | gapfill (default choir)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/report.hpp"
+#include "core/weighted_kappa.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scale.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace_file.hpp"
+
+namespace {
+
+using namespace choir;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: choirctl <command> [args]\n"
+      "  list                          environment presets\n"
+      "  run <env> [opts]              run an experiment, print metrics\n"
+      "  figure <env> [opts]           print IAT/latency delta histograms\n"
+      "  save <env> <dir> [opts]       write per-run .trc/.pcap files\n"
+      "  compare <a> <b>               offline metrics between traces\n"
+      "                                (.trc native or .pcap files)\n"
+      "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
+      "choir|sleep|busywait|gapfill\n");
+  return 2;
+}
+
+bool find_preset(const std::string& name, testbed::EnvironmentPreset* out) {
+  for (const auto& p : testbed::all_presets()) {
+    if (p.name == name) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Options {
+  std::uint64_t packets = testbed::scale_from_env();
+  int runs = 5;
+  std::uint64_t seed = 1;
+  testbed::ReplayEngine engine = testbed::ReplayEngine::kChoir;
+  std::string csv_dir;  ///< when set, write CSV artifacts there
+  bool ok = true;
+};
+
+Options parse_options(const std::vector<std::string>& args,
+                      std::size_t from) {
+  Options opt;
+  for (std::size_t i = from; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) {
+      opt.ok = false;
+      return opt;
+    }
+    const std::string& key = args[i];
+    const std::string& value = args[i + 1];
+    if (key == "--packets") {
+      opt.packets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--runs") {
+      opt.runs = std::atoi(value.c_str());
+    } else if (key == "--seed") {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--csv") {
+      opt.csv_dir = value;
+    } else if (key == "--engine") {
+      if (value == "choir") {
+        opt.engine = testbed::ReplayEngine::kChoir;
+      } else if (value == "sleep") {
+        opt.engine = testbed::ReplayEngine::kSleep;
+      } else if (value == "busywait") {
+        opt.engine = testbed::ReplayEngine::kBusyWait;
+      } else if (value == "gapfill") {
+        opt.engine = testbed::ReplayEngine::kGapFill;
+      } else {
+        opt.ok = false;
+      }
+    } else {
+      opt.ok = false;
+    }
+  }
+  return opt;
+}
+
+testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
+                                   const Options& opt, bool keep_captures) {
+  testbed::ExperimentConfig cfg;
+  cfg.env = env;
+  cfg.packets = opt.packets;
+  cfg.runs = opt.runs;
+  cfg.seed = opt.seed;
+  cfg.engine = opt.engine;
+  cfg.keep_captures = keep_captures;
+  return run_experiment(cfg);
+}
+
+void print_metrics(const testbed::ExperimentResult& result) {
+  char run = 'B';
+  for (const auto& c : result.comparisons) {
+    std::printf(
+        "run %c: U=%s O=%s I=%s L=%s kappa=%.4f (+-10ns %.2f%%, "
+        "|A|=%zu |B|=%zu)\n",
+        run++, analysis::format_metric(c.metrics.uniqueness).c_str(),
+        analysis::format_metric(c.metrics.ordering).c_str(),
+        analysis::format_metric(c.metrics.iat).c_str(),
+        analysis::format_metric(c.metrics.latency).c_str(), c.metrics.kappa,
+        100.0 * c.fraction_iat_within(10.0), c.size_a, c.size_b);
+  }
+  std::printf("mean kappa %.4f  (presence-sensitive %.4f)\n",
+              result.mean.kappa,
+              core::scaled_kappa(result.mean,
+                                 core::KappaScaling::presence_sensitive()));
+}
+
+int cmd_list() {
+  for (const auto& p : testbed::all_presets()) {
+    std::printf("%-28s %3.0f Gbps x%d%s%s\n", p.name.c_str(), p.rate / 1e9,
+                p.replayers, p.shared_nics ? "  shared-NIC" : "",
+                p.with_noise ? "  +noise" : "");
+  }
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args, bool figures) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  const Options opt = parse_options(args, 3);
+  if (!opt.ok) return usage();
+  const auto result = run_with(env, opt, false);
+  std::printf("%s: %llu packets/trial, %d runs\n", env.name.c_str(),
+              static_cast<unsigned long long>(result.recorded_packets),
+              opt.runs);
+  print_metrics(result);
+  analysis::DeltaHistogram iat = analysis::DeltaHistogram::log_ns();
+  analysis::DeltaHistogram lat = analysis::DeltaHistogram::log_ns();
+  for (const auto& c : result.comparisons) {
+    iat.add_all(c.series.iat_delta_ns);
+    lat.add_all(c.series.latency_delta_ns);
+  }
+  if (figures) {
+    std::printf("-- IAT deltas --\n%s-- latency deltas --\n%s",
+                iat.render().c_str(), lat.render().c_str());
+  }
+  if (!opt.csv_dir.empty()) {
+    const std::string base = opt.csv_dir + "/" + env.name;
+    analysis::write_histogram_csv(iat, base + "-iat.csv");
+    analysis::write_histogram_csv(lat, base + "-latency.csv");
+    std::vector<analysis::MetricsRow> rows;
+    char run = 'B';
+    for (const auto& c : result.comparisons) {
+      rows.push_back({std::string("run-") + run++, c.metrics});
+    }
+    rows.push_back({"mean", result.mean});
+    analysis::write_metrics_csv(rows, base + "-metrics.csv");
+    std::printf("wrote %s-{iat,latency,metrics}.csv\n", base.c_str());
+  }
+  return 0;
+}
+
+int cmd_save(const std::vector<std::string>& args) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 4 || !find_preset(args[2], &env)) return usage();
+  const std::string dir = args[3];
+  const Options opt = parse_options(args, 4);
+  if (!opt.ok) return usage();
+  const auto result = run_with(env, opt, true);
+  for (std::size_t r = 0; r < result.captures.size(); ++r) {
+    const std::string base = dir + "/" + env.name + "-run" +
+                             std::to_string(r);
+    trace::write_trace(result.captures[r], base + ".trc");
+    trace::write_pcap(result.captures[r], base + ".pcap");
+    std::printf("wrote %s.{trc,pcap} (%zu packets)\n", base.c_str(),
+                result.captures[r].size());
+  }
+  print_metrics(result);
+  return 0;
+}
+
+trace::Capture load_capture(const std::string& path) {
+  const bool pcap = path.size() > 5 &&
+                    path.compare(path.size() - 5, 5, ".pcap") == 0;
+  return pcap ? trace::read_pcap(path) : trace::read_trace(path);
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage();
+  const auto a = testbed::rebased_trial(load_capture(args[2]));
+  const auto b = testbed::rebased_trial(load_capture(args[3]));
+  core::ComparisonOptions copt;
+  copt.collect_series = true;
+  const auto cmp = core::compare_trials(a, b, copt);
+  std::printf(
+      "|A|=%zu |B|=%zu common=%zu moved=%zu\n"
+      "U=%s O=%s I=%s L=%s kappa=%.4f (+-10ns %.2f%%)\n",
+      cmp.size_a, cmp.size_b, cmp.common, cmp.moved,
+      analysis::format_metric(cmp.metrics.uniqueness).c_str(),
+      analysis::format_metric(cmp.metrics.ordering).c_str(),
+      analysis::format_metric(cmp.metrics.iat).c_str(),
+      analysis::format_metric(cmp.metrics.latency).c_str(),
+      cmp.metrics.kappa, 100.0 * cmp.fraction_iat_within(10.0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  if (args.size() < 2) return usage();
+  try {
+    const std::string& command = args[1];
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args, false);
+    if (command == "figure") return cmd_run(args, true);
+    if (command == "save") return cmd_save(args);
+    if (command == "compare") return cmd_compare(args);
+  } catch (const choir::Error& error) {
+    std::fprintf(stderr, "choirctl: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,51 @@
+// smoke — minimal experiment driver used during development and
+// calibration: runs one preset at a given scale/seed and prints the
+// per-run metrics plus the runner's drop diagnostics.
+//
+//   smoke [env-name] [packets] [seed]
+#include <cstdio>
+#include "testbed/experiment.hpp"
+#include "testbed/presets.hpp"
+#include "analysis/stats.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  testbed::ExperimentConfig cfg;
+  cfg.env = testbed::local_single();
+  if (argc > 1) {
+    for (const auto& p : testbed::all_presets())
+      if (p.name == argv[1]) cfg.env = p;
+  }
+  cfg.packets = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+  cfg.runs = 5;
+  cfg.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+  auto res = testbed::run_experiment(cfg);
+  std::printf("env=%s packets=%llu recorded=%llu dur=%.3fms\n",
+              cfg.env.name.c_str(), (unsigned long long)cfg.packets,
+              (unsigned long long)res.recorded_packets,
+              res.trial_duration / 1e6);
+  for (auto& ms : res.middlebox_stats)
+    std::printf("mb: fwd=%llu rec=%llu ctl=%llu replays=%llu rbursts=%llu rpkts=%llu\n",
+                (unsigned long long)ms.forwarded, (unsigned long long)ms.recorded,
+                (unsigned long long)ms.control_frames, (unsigned long long)ms.replays_started,
+                (unsigned long long)ms.replayed_bursts, (unsigned long long)ms.replayed_packets);
+  std::printf("capture sizes:");
+  for (auto s : res.capture_sizes) std::printf(" %zu", s);
+  std::printf("\nrec_rx_drops=%llu imissed=%llu sw_drops=%llu replay_tx_drops=%llu\n",
+              (unsigned long long)res.recorder_rx_drops,
+              (unsigned long long)res.recorder_imissed,
+              (unsigned long long)res.switch_queue_drops,
+              (unsigned long long)res.replay_tx_drops);
+  int i = 0;
+  for (auto& c : res.comparisons) {
+    std::printf("run %c: U=%.3e O=%.4f I=%.4f L=%.3e k=%.4f within10=%.2f%% common=%zu moved=%zu\n",
+                'B' + i++, c.metrics.uniqueness, c.metrics.ordering,
+                c.metrics.iat, c.metrics.latency, c.metrics.kappa,
+                100 * c.fraction_iat_within(10.0), c.common, c.moved);
+  }
+  std::printf("MEAN: U=%.3e O=%.4f I=%.4f L=%.3e k=%.4f\n",
+              res.mean.uniqueness, res.mean.ordering, res.mean.iat,
+              res.mean.latency, res.mean.kappa);
+  return 0;
+}
