@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fabric_noisy.dir/bench_fig10_fabric_noisy.cpp.o"
+  "CMakeFiles/bench_fig10_fabric_noisy.dir/bench_fig10_fabric_noisy.cpp.o.d"
+  "bench_fig10_fabric_noisy"
+  "bench_fig10_fabric_noisy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fabric_noisy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_local_single.dir/bench_fig4_local_single.cpp.o"
+  "CMakeFiles/bench_fig4_local_single.dir/bench_fig4_local_single.cpp.o.d"
+  "bench_fig4_local_single"
+  "bench_fig4_local_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_local_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

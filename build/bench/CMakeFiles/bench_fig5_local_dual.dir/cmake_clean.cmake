@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_local_dual.dir/bench_fig5_local_dual.cpp.o"
+  "CMakeFiles/bench_fig5_local_dual.dir/bench_fig5_local_dual.cpp.o.d"
+  "bench_fig5_local_dual"
+  "bench_fig5_local_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_local_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fabric_dedicated40.dir/bench_fig6_fabric_dedicated40.cpp.o"
+  "CMakeFiles/bench_fig6_fabric_dedicated40.dir/bench_fig6_fabric_dedicated40.cpp.o.d"
+  "bench_fig6_fabric_dedicated40"
+  "bench_fig6_fabric_dedicated40.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fabric_dedicated40.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fabric_shared40.dir/bench_fig7_fabric_shared40.cpp.o"
+  "CMakeFiles/bench_fig7_fabric_shared40.dir/bench_fig7_fabric_shared40.cpp.o.d"
+  "bench_fig7_fabric_shared40"
+  "bench_fig7_fabric_shared40.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fabric_shared40.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fabric_dedicated40_2.dir/bench_fig8_fabric_dedicated40_2.cpp.o"
+  "CMakeFiles/bench_fig8_fabric_dedicated40_2.dir/bench_fig8_fabric_dedicated40_2.cpp.o.d"
+  "bench_fig8_fabric_dedicated40_2"
+  "bench_fig8_fabric_dedicated40_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fabric_dedicated40_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fabric_80g.dir/bench_fig9_fabric_80g.cpp.o"
+  "CMakeFiles/bench_fig9_fabric_80g.dir/bench_fig9_fabric_80g.cpp.o.d"
+  "bench_fig9_fabric_80g"
+  "bench_fig9_fabric_80g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fabric_80g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

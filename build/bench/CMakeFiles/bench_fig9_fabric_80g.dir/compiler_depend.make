@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_fabric_80g.
+# This may be replaced when dependencies are built.

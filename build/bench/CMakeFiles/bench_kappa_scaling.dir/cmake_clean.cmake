@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kappa_scaling.dir/bench_kappa_scaling.cpp.o"
+  "CMakeFiles/bench_kappa_scaling.dir/bench_kappa_scaling.cpp.o.d"
+  "bench_kappa_scaling"
+  "bench_kappa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kappa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metrics.dir/bench_metrics.cpp.o"
+  "CMakeFiles/bench_metrics.dir/bench_metrics.cpp.o.d"
+  "bench_metrics"
+  "bench_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

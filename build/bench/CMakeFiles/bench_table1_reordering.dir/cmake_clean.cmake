@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reordering.dir/bench_table1_reordering.cpp.o"
+  "CMakeFiles/bench_table1_reordering.dir/bench_table1_reordering.cpp.o.d"
+  "bench_table1_reordering"
+  "bench_table1_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_shootout.dir/baseline_shootout.cpp.o"
+  "CMakeFiles/baseline_shootout.dir/baseline_shootout.cpp.o.d"
+  "baseline_shootout"
+  "baseline_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for baseline_shootout.
+# This may be replaced when dependencies are built.

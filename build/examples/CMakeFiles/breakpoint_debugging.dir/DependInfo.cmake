@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/breakpoint_debugging.cpp" "examples/CMakeFiles/breakpoint_debugging.dir/breakpoint_debugging.cpp.o" "gcc" "examples/CMakeFiles/breakpoint_debugging.dir/breakpoint_debugging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/choir_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/choir_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/choir/CMakeFiles/choir_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/choir_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/choir_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/choir_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/choir_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/choir_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

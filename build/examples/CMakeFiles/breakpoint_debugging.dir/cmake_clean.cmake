@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakpoint_debugging.dir/breakpoint_debugging.cpp.o"
+  "CMakeFiles/breakpoint_debugging.dir/breakpoint_debugging.cpp.o.d"
+  "breakpoint_debugging"
+  "breakpoint_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakpoint_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

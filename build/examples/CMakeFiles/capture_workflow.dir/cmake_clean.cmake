@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_workflow.dir/capture_workflow.cpp.o"
+  "CMakeFiles/capture_workflow.dir/capture_workflow.cpp.o.d"
+  "capture_workflow"
+  "capture_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_replay.dir/parallel_replay.cpp.o"
+  "CMakeFiles/parallel_replay.dir/parallel_replay.cpp.o.d"
+  "parallel_replay"
+  "parallel_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_comparison.dir/testbed_comparison.cpp.o"
+  "CMakeFiles/testbed_comparison.dir/testbed_comparison.cpp.o.d"
+  "testbed_comparison"
+  "testbed_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("core")
+subdirs("pktio")
+subdirs("net")
+subdirs("trace")
+subdirs("gen")
+subdirs("choir")
+subdirs("replay")
+subdirs("analysis")
+subdirs("testbed")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/choir_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/choir_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/choir_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/choir_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/choir_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/choir_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/choir_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/choir_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_analysis.dir/export.cpp.o"
+  "CMakeFiles/choir_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/choir_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/choir_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/choir_analysis.dir/report.cpp.o"
+  "CMakeFiles/choir_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/choir_analysis.dir/stats.cpp.o"
+  "CMakeFiles/choir_analysis.dir/stats.cpp.o.d"
+  "libchoir_analysis.a"
+  "libchoir_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

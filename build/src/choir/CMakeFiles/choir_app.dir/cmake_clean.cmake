@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_app.dir/control.cpp.o"
+  "CMakeFiles/choir_app.dir/control.cpp.o.d"
+  "CMakeFiles/choir_app.dir/controller.cpp.o"
+  "CMakeFiles/choir_app.dir/controller.cpp.o.d"
+  "CMakeFiles/choir_app.dir/middlebox.cpp.o"
+  "CMakeFiles/choir_app.dir/middlebox.cpp.o.d"
+  "libchoir_app.a"
+  "libchoir_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

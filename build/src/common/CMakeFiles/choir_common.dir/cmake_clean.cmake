@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_common.dir/rng.cpp.o"
+  "CMakeFiles/choir_common.dir/rng.cpp.o.d"
+  "libchoir_common.a"
+  "libchoir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

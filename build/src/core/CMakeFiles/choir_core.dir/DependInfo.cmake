@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/edit_script.cpp" "src/core/CMakeFiles/choir_core.dir/edit_script.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/edit_script.cpp.o.d"
+  "/root/repo/src/core/lis.cpp" "src/core/CMakeFiles/choir_core.dir/lis.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/lis.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/choir_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/reordering.cpp" "src/core/CMakeFiles/choir_core.dir/reordering.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/reordering.cpp.o.d"
+  "/root/repo/src/core/trial.cpp" "src/core/CMakeFiles/choir_core.dir/trial.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/trial.cpp.o.d"
+  "/root/repo/src/core/weighted_kappa.cpp" "src/core/CMakeFiles/choir_core.dir/weighted_kappa.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/weighted_kappa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_core.dir/edit_script.cpp.o"
+  "CMakeFiles/choir_core.dir/edit_script.cpp.o.d"
+  "CMakeFiles/choir_core.dir/lis.cpp.o"
+  "CMakeFiles/choir_core.dir/lis.cpp.o.d"
+  "CMakeFiles/choir_core.dir/metrics.cpp.o"
+  "CMakeFiles/choir_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/choir_core.dir/reordering.cpp.o"
+  "CMakeFiles/choir_core.dir/reordering.cpp.o.d"
+  "CMakeFiles/choir_core.dir/trial.cpp.o"
+  "CMakeFiles/choir_core.dir/trial.cpp.o.d"
+  "CMakeFiles/choir_core.dir/weighted_kappa.cpp.o"
+  "CMakeFiles/choir_core.dir/weighted_kappa.cpp.o.d"
+  "libchoir_core.a"
+  "libchoir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/generator.cpp" "src/gen/CMakeFiles/choir_gen.dir/generator.cpp.o" "gcc" "src/gen/CMakeFiles/choir_gen.dir/generator.cpp.o.d"
+  "/root/repo/src/gen/trace_gen.cpp" "src/gen/CMakeFiles/choir_gen.dir/trace_gen.cpp.o" "gcc" "src/gen/CMakeFiles/choir_gen.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/choir_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/choir_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/choir_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_gen.dir/generator.cpp.o"
+  "CMakeFiles/choir_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/choir_gen.dir/trace_gen.cpp.o"
+  "CMakeFiles/choir_gen.dir/trace_gen.cpp.o.d"
+  "libchoir_gen.a"
+  "libchoir_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/choir_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/choir_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/noise.cpp" "src/net/CMakeFiles/choir_net.dir/noise.cpp.o" "gcc" "src/net/CMakeFiles/choir_net.dir/noise.cpp.o.d"
+  "/root/repo/src/net/ptp_protocol.cpp" "src/net/CMakeFiles/choir_net.dir/ptp_protocol.cpp.o" "gcc" "src/net/CMakeFiles/choir_net.dir/ptp_protocol.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/choir_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/choir_net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/choir_pktio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_net.dir/nic.cpp.o"
+  "CMakeFiles/choir_net.dir/nic.cpp.o.d"
+  "CMakeFiles/choir_net.dir/noise.cpp.o"
+  "CMakeFiles/choir_net.dir/noise.cpp.o.d"
+  "CMakeFiles/choir_net.dir/ptp_protocol.cpp.o"
+  "CMakeFiles/choir_net.dir/ptp_protocol.cpp.o.d"
+  "CMakeFiles/choir_net.dir/switch.cpp.o"
+  "CMakeFiles/choir_net.dir/switch.cpp.o.d"
+  "libchoir_net.a"
+  "libchoir_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchoir_net.a"
+)

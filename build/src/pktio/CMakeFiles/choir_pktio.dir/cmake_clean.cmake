@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_pktio.dir/headers.cpp.o"
+  "CMakeFiles/choir_pktio.dir/headers.cpp.o.d"
+  "CMakeFiles/choir_pktio.dir/mbuf.cpp.o"
+  "CMakeFiles/choir_pktio.dir/mbuf.cpp.o.d"
+  "libchoir_pktio.a"
+  "libchoir_pktio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_pktio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/baselines.cpp" "src/replay/CMakeFiles/choir_replay.dir/baselines.cpp.o" "gcc" "src/replay/CMakeFiles/choir_replay.dir/baselines.cpp.o.d"
+  "/root/repo/src/replay/gapfill.cpp" "src/replay/CMakeFiles/choir_replay.dir/gapfill.cpp.o" "gcc" "src/replay/CMakeFiles/choir_replay.dir/gapfill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/choir/CMakeFiles/choir_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/choir_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/choir_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/choir_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

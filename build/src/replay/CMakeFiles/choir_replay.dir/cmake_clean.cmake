@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_replay.dir/baselines.cpp.o"
+  "CMakeFiles/choir_replay.dir/baselines.cpp.o.d"
+  "CMakeFiles/choir_replay.dir/gapfill.cpp.o"
+  "CMakeFiles/choir_replay.dir/gapfill.cpp.o.d"
+  "libchoir_replay.a"
+  "libchoir_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

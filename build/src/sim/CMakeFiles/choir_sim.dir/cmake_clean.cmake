@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/choir_sim.dir/event_queue.cpp.o.d"
+  "libchoir_sim.a"
+  "libchoir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

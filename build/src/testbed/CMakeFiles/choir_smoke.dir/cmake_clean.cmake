@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_smoke.dir/__/__/tools/smoke.cpp.o"
+  "CMakeFiles/choir_smoke.dir/__/__/tools/smoke.cpp.o.d"
+  "choir_smoke"
+  "choir_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/choir_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/choir_testbed.dir/presets.cpp.o"
+  "CMakeFiles/choir_testbed.dir/presets.cpp.o.d"
+  "CMakeFiles/choir_testbed.dir/scale.cpp.o"
+  "CMakeFiles/choir_testbed.dir/scale.cpp.o.d"
+  "libchoir_testbed.a"
+  "libchoir_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

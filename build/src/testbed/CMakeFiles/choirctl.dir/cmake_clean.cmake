@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choirctl.dir/__/__/tools/choirctl.cpp.o"
+  "CMakeFiles/choirctl.dir/__/__/tools/choirctl.cpp.o.d"
+  "choirctl"
+  "choirctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choirctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/capture.cpp" "src/trace/CMakeFiles/choir_trace.dir/capture.cpp.o" "gcc" "src/trace/CMakeFiles/choir_trace.dir/capture.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/choir_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/choir_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/choir_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/choir_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/tag.cpp" "src/trace/CMakeFiles/choir_trace.dir/tag.cpp.o" "gcc" "src/trace/CMakeFiles/choir_trace.dir/tag.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/choir_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/choir_trace.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/choir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/choir_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/choir_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_trace.dir/capture.cpp.o"
+  "CMakeFiles/choir_trace.dir/capture.cpp.o.d"
+  "CMakeFiles/choir_trace.dir/pcap.cpp.o"
+  "CMakeFiles/choir_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/choir_trace.dir/recorder.cpp.o"
+  "CMakeFiles/choir_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/choir_trace.dir/tag.cpp.o"
+  "CMakeFiles/choir_trace.dir/tag.cpp.o.d"
+  "CMakeFiles/choir_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/choir_trace.dir/trace_file.cpp.o.d"
+  "libchoir_trace.a"
+  "libchoir_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

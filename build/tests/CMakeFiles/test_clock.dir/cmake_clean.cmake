@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock.dir/test_clock.cpp.o"
+  "CMakeFiles/test_clock.dir/test_clock.cpp.o.d"
+  "test_clock"
+  "test_clock.pdb"
+  "test_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

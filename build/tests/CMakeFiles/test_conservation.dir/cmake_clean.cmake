@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conservation.dir/test_conservation.cpp.o"
+  "CMakeFiles/test_conservation.dir/test_conservation.cpp.o.d"
+  "test_conservation"
+  "test_conservation.pdb"
+  "test_conservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edit_script.dir/test_edit_script.cpp.o"
+  "CMakeFiles/test_edit_script.dir/test_edit_script.cpp.o.d"
+  "test_edit_script"
+  "test_edit_script.pdb"
+  "test_edit_script[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edit_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ethdev.dir/test_ethdev.cpp.o"
+  "CMakeFiles/test_ethdev.dir/test_ethdev.cpp.o.d"
+  "test_ethdev"
+  "test_ethdev.pdb"
+  "test_ethdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ethdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gapfill.dir/test_gapfill.cpp.o"
+  "CMakeFiles/test_gapfill.dir/test_gapfill.cpp.o.d"
+  "test_gapfill"
+  "test_gapfill.pdb"
+  "test_gapfill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gapfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

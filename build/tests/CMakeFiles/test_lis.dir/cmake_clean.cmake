@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lis.dir/test_lis.cpp.o"
+  "CMakeFiles/test_lis.dir/test_lis.cpp.o.d"
+  "test_lis"
+  "test_lis.pdb"
+  "test_lis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

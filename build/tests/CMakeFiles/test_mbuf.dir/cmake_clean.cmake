@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbuf.dir/test_mbuf.cpp.o"
+  "CMakeFiles/test_mbuf.dir/test_mbuf.cpp.o.d"
+  "test_mbuf"
+  "test_mbuf.pdb"
+  "test_mbuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

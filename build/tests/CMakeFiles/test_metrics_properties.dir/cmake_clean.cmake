@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_properties.dir/test_metrics_properties.cpp.o"
+  "CMakeFiles/test_metrics_properties.dir/test_metrics_properties.cpp.o.d"
+  "test_metrics_properties"
+  "test_metrics_properties.pdb"
+  "test_metrics_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

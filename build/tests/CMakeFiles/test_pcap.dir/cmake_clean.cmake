@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcap.dir/test_pcap.cpp.o"
+  "CMakeFiles/test_pcap.dir/test_pcap.cpp.o.d"
+  "test_pcap"
+  "test_pcap.pdb"
+  "test_pcap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

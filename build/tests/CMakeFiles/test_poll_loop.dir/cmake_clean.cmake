@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poll_loop.dir/test_poll_loop.cpp.o"
+  "CMakeFiles/test_poll_loop.dir/test_poll_loop.cpp.o.d"
+  "test_poll_loop"
+  "test_poll_loop.pdb"
+  "test_poll_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poll_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

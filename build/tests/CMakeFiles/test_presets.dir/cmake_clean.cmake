@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presets.dir/test_presets.cpp.o"
+  "CMakeFiles/test_presets.dir/test_presets.cpp.o.d"
+  "test_presets"
+  "test_presets.pdb"
+  "test_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptp.dir/test_ptp.cpp.o"
+  "CMakeFiles/test_ptp.dir/test_ptp.cpp.o.d"
+  "test_ptp"
+  "test_ptp.pdb"
+  "test_ptp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

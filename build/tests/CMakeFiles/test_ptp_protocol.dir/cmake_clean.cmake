@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptp_protocol.dir/test_ptp_protocol.cpp.o"
+  "CMakeFiles/test_ptp_protocol.dir/test_ptp_protocol.cpp.o.d"
+  "test_ptp_protocol"
+  "test_ptp_protocol.pdb"
+  "test_ptp_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

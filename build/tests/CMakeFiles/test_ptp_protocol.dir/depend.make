@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ptp_protocol.
+# This may be replaced when dependencies are built.

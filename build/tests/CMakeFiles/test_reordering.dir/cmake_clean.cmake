@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reordering.dir/test_reordering.cpp.o"
+  "CMakeFiles/test_reordering.dir/test_reordering.cpp.o.d"
+  "test_reordering"
+  "test_reordering.pdb"
+  "test_reordering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

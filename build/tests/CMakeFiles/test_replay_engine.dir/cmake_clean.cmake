@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_engine.dir/test_replay_engine.cpp.o"
+  "CMakeFiles/test_replay_engine.dir/test_replay_engine.cpp.o.d"
+  "test_replay_engine"
+  "test_replay_engine.pdb"
+  "test_replay_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

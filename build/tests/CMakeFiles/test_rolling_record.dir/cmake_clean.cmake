@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rolling_record.dir/test_rolling_record.cpp.o"
+  "CMakeFiles/test_rolling_record.dir/test_rolling_record.cpp.o.d"
+  "test_rolling_record"
+  "test_rolling_record.pdb"
+  "test_rolling_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rolling_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

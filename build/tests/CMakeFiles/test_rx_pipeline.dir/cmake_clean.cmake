@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rx_pipeline.dir/test_rx_pipeline.cpp.o"
+  "CMakeFiles/test_rx_pipeline.dir/test_rx_pipeline.cpp.o.d"
+  "test_rx_pipeline"
+  "test_rx_pipeline.pdb"
+  "test_rx_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch.dir/test_switch.cpp.o"
+  "CMakeFiles/test_switch.dir/test_switch.cpp.o.d"
+  "test_switch"
+  "test_switch.pdb"
+  "test_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

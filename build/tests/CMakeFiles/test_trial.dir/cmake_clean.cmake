@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trial.dir/test_trial.cpp.o"
+  "CMakeFiles/test_trial.dir/test_trial.cpp.o.d"
+  "test_trial"
+  "test_trial.pdb"
+  "test_trial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tx_port.dir/test_tx_port.cpp.o"
+  "CMakeFiles/test_tx_port.dir/test_tx_port.cpp.o.d"
+  "test_tx_port"
+  "test_tx_port.pdb"
+  "test_tx_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tx_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

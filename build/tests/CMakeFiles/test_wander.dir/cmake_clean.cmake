@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wander.dir/test_wander.cpp.o"
+  "CMakeFiles/test_wander.dir/test_wander.cpp.o.d"
+  "test_wander"
+  "test_wander.pdb"
+  "test_wander[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

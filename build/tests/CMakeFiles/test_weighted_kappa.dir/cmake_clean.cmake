@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_kappa.dir/test_weighted_kappa.cpp.o"
+  "CMakeFiles/test_weighted_kappa.dir/test_weighted_kappa.cpp.o.d"
+  "test_weighted_kappa"
+  "test_weighted_kappa.pdb"
+  "test_weighted_kappa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_kappa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
