@@ -56,4 +56,44 @@ void write_metrics_csv(const std::vector<MetricsRow>& rows,
   CHOIR_EXPECT(out.good(), "write failed: " + path);
 }
 
+void write_snapshots_jsonl(const std::vector<telemetry::Snapshot>& snapshots,
+                           const std::string& path) {
+  std::ofstream out = open_out(path);
+  for (const telemetry::Snapshot& s : snapshots) {
+    out << "{\"t_ns\":" << s.at << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : s.counters) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << telemetry::json_escape(name) << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : s.gauges) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << telemetry::json_escape(name) << "\":" << value;
+    }
+    out << "}}\n";
+  }
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+void write_histogram_summaries_csv(const telemetry::Registry& registry,
+                                   const std::string& path) {
+  std::ofstream out = open_out(path);
+  out << "name,count,min_ns,mean_ns,p50_ns,p90_ns,p99_ns,max_ns\n";
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const auto s = histogram.summary();
+    out << name << ',' << s.count << ',' << s.min << ',' << s.mean << ','
+        << s.p50 << ',' << s.p90 << ',' << s.p99 << ',' << s.max << '\n';
+  }
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+void write_chrome_trace(const telemetry::Tracer& tracer,
+                        const std::string& path) {
+  tracer.write_chrome_json(path);
+}
+
 }  // namespace choir::analysis

@@ -9,6 +9,8 @@
 
 #include "analysis/histogram.hpp"
 #include "core/metrics.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace choir::analysis {
 
@@ -28,5 +30,21 @@ struct MetricsRow {
 };
 void write_metrics_csv(const std::vector<MetricsRow>& rows,
                        const std::string& path);
+
+// --- Telemetry artifacts ------------------------------------------------
+
+/// Counter/gauge time series as JSON Lines: one object per snapshot,
+/// `{"t_ns":N,"counters":{...},"gauges":{...}}`, keys in sorted order.
+void write_snapshots_jsonl(const std::vector<telemetry::Snapshot>& snapshots,
+                           const std::string& path);
+
+/// Every registry histogram as CSV:
+/// name,count,min_ns,mean_ns,p50_ns,p90_ns,p99_ns,max_ns.
+void write_histogram_summaries_csv(const telemetry::Registry& registry,
+                                   const std::string& path);
+
+/// Chrome-tracing / Perfetto-compatible JSON of the recorded trace.
+void write_chrome_trace(const telemetry::Tracer& tracer,
+                        const std::string& path);
 
 }  // namespace choir::analysis

@@ -2,34 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/expect.hpp"
 
 namespace choir::app {
 
+namespace {
+std::string middlebox_label(const ChoirConfig& config) {
+  return "middlebox." + std::to_string(config.replayer_id);
+}
+}  // namespace
+
 Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
                      net::Vf& in, net::Vf& out, ChoirConfig config, Rng rng)
     : queue_(queue),
       clock_(clock),
-      in_dev_("choir-in", in),
-      out_dev_("choir-out", out),
+      in_dev_("choir-in." + std::to_string(config.replayer_id), in),
+      out_dev_("choir-out." + std::to_string(config.replayer_id), out),
       out_vf_(out),
       config_(config),
       rng_(rng.split(0x4d42)),
-      loop_(queue, in, config.poll, rng.split(0x504f4c)),
+      loop_(queue, in, config.poll, rng.split(0x504f4c),
+            middlebox_label(config)),
       recording_(config.max_recorded_packets,
                  config.rolling_record ? Recording::Mode::kRolling
                                        : Recording::Mode::kBounded) {
   loop_.set_handler([this] { return on_poll(); });
+  if (telemetry::Registry::current() != nullptr) {
+    const std::string base = middlebox_label(config_) + ".";
+    tm_forwarded_ = telemetry::counter(base + "forwarded");
+    tm_recorded_ = telemetry::counter(base + "recorded");
+    tm_control_frames_ = telemetry::counter(base + "control_frames");
+    tm_forward_drops_ = telemetry::counter(base + "forward_drops");
+    tm_record_overflow_ = telemetry::counter(base + "record_overflow");
+    tm_tx_ring_retries_ = telemetry::counter(base + "tx_ring_retries");
+    tm_replayed_packets_ = telemetry::counter(base + "replayed_packets");
+    tm_replayed_bursts_ = telemetry::counter(base + "replayed_bursts");
+    tm_forward_latency_ = telemetry::histogram(base + "forward_latency_ns");
+    tm_pacing_error_ = telemetry::histogram(base + "pacing_error_ns");
+    tm_track_ = telemetry::track(middlebox_label(config_));
+  }
 }
 
 void Middlebox::start() { loop_.start(); }
 
 void Middlebox::start_record() {
+  if (!recording_active_) record_started_at_ = queue_.now();
   recording_active_ = true;
 }
 
-void Middlebox::stop_record() { recording_active_ = false; }
+void Middlebox::stop_record() {
+  if (recording_active_ && record_started_at_ >= 0) {
+    if (auto* tracer = telemetry::tracer()) {
+      tracer->span("record", record_started_at_, queue_.now(), tm_track_);
+    }
+    record_started_at_ = -1;
+  }
+  recording_active_ = false;
+}
 
 void Middlebox::clear_recording() {
   CHOIR_EXPECT(!replay_armed_, "cannot clear a recording mid-replay");
@@ -49,6 +80,10 @@ bool Middlebox::on_poll() {
   for (std::uint16_t i = 0; i < n; ++i) {
     if (const auto msg = decode_control(burst[i]->frame)) {
       ++stats_.control_frames;
+      tm_control_frames_.add();
+      if (auto* tracer = telemetry::tracer()) {
+        tracer->instant("control-frame", queue_.now(), tm_track_);
+      }
       handle_control(*msg);
       pktio::Mempool::release(burst[i]);
       continue;
@@ -73,6 +108,14 @@ bool Middlebox::on_poll() {
   // A forwarder with a full tx ring drops on the floor (it cannot stall
   // its rx side); the recording only ever holds what was transmitted.
   stats_.forward_drops += fwd - sent;
+  if (sent > 0) tm_forwarded_.add(sent);
+  if (sent < fwd) tm_forward_drops_.add(fwd - sent);
+  if (tm_forward_latency_) {
+    // Store-and-forward latency: NIC admission timestamp to transmit.
+    for (std::uint16_t i = 0; i < sent; ++i) {
+      tm_forward_latency_.record(queue_.now() - burst[i]->rx_timestamp);
+    }
+  }
   for (std::uint16_t i = sent; i < fwd; ++i) {
     pktio::Mempool::release(burst[i]);
   }
@@ -80,8 +123,10 @@ bool Middlebox::on_poll() {
   if (recording_active_ && sent > 0) {
     if (recording_.add_burst(tsc, burst, sent)) {
       stats_.recorded += sent;
+      tm_recorded_.add(sent);
     } else {
       stats_.record_overflow += sent;
+      tm_record_overflow_.add(sent);
     }
     // Breakpoint check after the burst is safely recorded: the matching
     // frame is the last thing in the (rolling) buffer.
@@ -139,6 +184,7 @@ void Middlebox::begin_replay(Ns true_start, std::uint64_t tsc_delta) {
   loop_free_at_ = std::max(queue_.now(), true_start);
   slip_until_ = 0;
   ++stats_.replays_started;
+  replay_started_at_ = queue_.now();
   replay_step();
 }
 
@@ -146,6 +192,9 @@ void Middlebox::replay_step() {
   const RecordedBurst& burst = recording_.bursts()[replay_cursor_];
   const std::uint64_t target_tsc = burst.tsc + replay_tsc_delta_;
   Ns t = clock_.tsc.time_of_ticks(target_tsc);
+  // Everything added below (check-loop granularity, slips, a busy
+  // previous burst) is pacing error: actual TX minus this scheduled TX.
+  replay_target_ns_ = t;
 
   // The transmit loop spins on a TSC read: the burst goes out within one
   // check-loop iteration after its target.
@@ -168,6 +217,17 @@ void Middlebox::replay_step() {
 
 void Middlebox::emit_burst_from(std::size_t offset) {
   const RecordedBurst& b = recording_.bursts()[replay_cursor_];
+  if (offset == 0) {
+    const Ns pacing_error = queue_.now() - replay_target_ns_;
+    tm_pacing_error_.record(pacing_error);
+    if (auto* tracer = telemetry::tracer()) {
+      char args[96];
+      std::snprintf(args, sizeof(args),
+                    "{\"pacing_error_ns\":%lld,\"packets\":%zu}",
+                    static_cast<long long>(pacing_error), b.pkts.size());
+      tracer->instant("replay-burst", queue_.now(), tm_track_, args);
+    }
+  }
   pktio::Mbuf* pkts[pktio::kMaxBurst];
   while (offset < b.pkts.size()) {
     const auto chunk = static_cast<std::uint16_t>(
@@ -178,6 +238,7 @@ void Middlebox::emit_burst_from(std::size_t offset) {
     }
     const std::uint16_t sent = out_dev_.tx_burst(pkts, chunk);
     stats_.replayed_packets += sent;
+    if (sent > 0) tm_replayed_packets_.add(sent);
     for (std::uint16_t i = sent; i < chunk; ++i) {
       pktio::Mempool::release(pkts[i]);
     }
@@ -187,6 +248,7 @@ void Middlebox::emit_burst_from(std::size_t offset) {
       // frees slots, then retries the remainder — nothing is dropped
       // (rte_eth_tx_burst semantics).
       ++stats_.tx_ring_retries;
+      tm_tx_ring_retries_.add();
       queue_.schedule_in(200, [this, offset] { emit_burst_from(offset); });
       return;
     }
@@ -196,11 +258,19 @@ void Middlebox::emit_burst_from(std::size_t offset) {
 
 void Middlebox::finish_burst() {
   ++stats_.replayed_bursts;
+  tm_replayed_bursts_.add();
   loop_free_at_ = queue_.now() + static_cast<Ns>(config_.loop_check_ns);
   ++replay_cursor_;
   if (replay_cursor_ < recording_.burst_count()) {
     replay_step();
   } else {
+    if (auto* tracer = telemetry::tracer()) {
+      char args[64];
+      std::snprintf(args, sizeof(args), "{\"bursts\":%llu}",
+                    static_cast<unsigned long long>(stats_.replayed_bursts));
+      tracer->span("replay", replay_started_at_, queue_.now(), tm_track_,
+                   args);
+    }
     replay_armed_ = false;
     replay_cursor_ = 0;
   }

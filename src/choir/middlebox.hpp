@@ -20,6 +20,7 @@
 #include "pktio/ethdev.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/tag.hpp"
 
 namespace choir::app {
@@ -99,6 +100,22 @@ class Middlebox {
   Ns slip_until_ = 0;
 
   MiddleboxStats stats_;
+
+  // Telemetry (null handles when no session is installed).
+  telemetry::CounterHandle tm_forwarded_;
+  telemetry::CounterHandle tm_recorded_;
+  telemetry::CounterHandle tm_control_frames_;
+  telemetry::CounterHandle tm_forward_drops_;
+  telemetry::CounterHandle tm_record_overflow_;
+  telemetry::CounterHandle tm_tx_ring_retries_;
+  telemetry::CounterHandle tm_replayed_packets_;
+  telemetry::CounterHandle tm_replayed_bursts_;
+  telemetry::HistogramHandle tm_forward_latency_;
+  telemetry::HistogramHandle tm_pacing_error_;
+  std::uint32_t tm_track_ = 0;
+  Ns record_started_at_ = -1;   ///< -1: not recording (for the span)
+  Ns replay_started_at_ = 0;
+  Ns replay_target_ns_ = 0;     ///< scheduled TX time of the due burst
 };
 
 }  // namespace choir::app

@@ -8,12 +8,17 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/units.hpp"
 
 namespace choir::net {
 
 struct NicConfig {
+  /// Telemetry label: metric names for this NIC and its VFs are scoped
+  /// under `nic.<name>.`. Purely observational — never affects timing.
+  std::string name = "nic";
+
   BitsPerSec line_rate = gbps(100);
 
   // --- TX path -----------------------------------------------------

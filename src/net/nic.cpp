@@ -23,6 +23,8 @@ std::uint16_t Vf::backend_tx(pktio::Mbuf* const* pkts, std::uint16_t n) {
   // serializes back-to-back, as on real hardware.
   const Ns pull = std::max(phys_.dma_pull_time(), last_pull_);
   last_pull_ = pull;
+  // Effective pull delay includes FIFO waiting behind earlier bursts.
+  phys_.tm_dma_pull_delay_.record(pull - phys_.queue_.now());
   phys_.dma_in_flight_ += accepted;
   for (std::uint16_t i = 0; i < accepted; ++i) {
     pktio::Mbuf* pkt = pkts[i];
@@ -53,17 +55,21 @@ void Vf::enqueue_rx(pktio::Mbuf* pkt) {
   const bool was_empty = rx_ring_.empty();
   if (!rx_ring_.enqueue(pkt)) {
     ++imissed_;
+    tm_imissed_.add();
     pktio::Mempool::release(pkt);
     return;
   }
+  tm_rx_ring_hwm_.set_max(static_cast<std::int64_t>(rx_ring_.size()));
   if (was_empty && rx_wakeup_) rx_wakeup_();
 }
 
 // --- PhysNic ----------------------------------------------------------
 
 Vf& PhysNic::add_vf(pktio::MacAddress mac, bool promiscuous) {
+  const std::string label =
+      "nic." + config_.name + ".vf" + std::to_string(vfs_.size());
   vfs_.push_back(std::make_unique<Vf>(*this, mac, config_.rx_ring_pkts,
-                                      promiscuous));
+                                      promiscuous, label));
   return *vfs_.back();
 }
 
@@ -92,6 +98,7 @@ void PhysNic::deliver(pktio::Mbuf* pkt, Ns wire_time) {
   Vf* vf = route(pkt);
   if (vf == nullptr) {
     ++rx_drops_;
+    tm_rx_drops_.add();
     pktio::Mempool::release(pkt);
     return;
   }
@@ -99,11 +106,13 @@ void PhysNic::deliver(pktio::Mbuf* pkt, Ns wire_time) {
       rx_pipeline_.admit(wire_time, pkt->frame.wire_len);
   if (!admission.accepted) {
     ++rx_drops_;
+    tm_rx_drops_.add();
     pktio::Mempool::release(pkt);
     return;
   }
   pkt->rx_timestamp = admission.timestamp;
   ++rx_delivered_;
+  tm_rx_delivered_.add();
   if (admission.release <= queue_.now()) {
     vf->enqueue_rx(pkt);
     return;

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -30,9 +31,11 @@ class PhysNic;
 class Vf : public pktio::PortBackend {
  public:
   Vf(PhysNic& phys, pktio::MacAddress mac, std::size_t rx_ring_pkts,
-     bool promiscuous)
+     bool promiscuous, const std::string& label)
       : phys_(phys), mac_(mac), rx_ring_(rx_ring_pkts),
-        promiscuous_(promiscuous) {}
+        promiscuous_(promiscuous),
+        tm_rx_ring_hwm_(telemetry::gauge(label + ".rx_ring_hwm")),
+        tm_imissed_(telemetry::counter(label + ".imissed")) {}
 
   /// DPDK-style transmit: the burst is accepted into the descriptor ring
   /// (as far as it has room — callers see partial acceptance and retry,
@@ -52,6 +55,8 @@ class Vf : public pktio::PortBackend {
   bool promiscuous() const { return promiscuous_; }
   std::size_t rx_pending() const { return rx_ring_.size(); }
   std::uint64_t imissed() const { return imissed_; }
+  /// Highest occupancy the receive ring ever reached.
+  std::size_t rx_ring_high_water() const { return rx_ring_.high_water(); }
 
   /// Simulator-side hook fired when the rx ring transitions from empty to
   /// non-empty. Applications use it to resume their poll loops instead of
@@ -70,6 +75,8 @@ class Vf : public pktio::PortBackend {
   std::uint64_t imissed_ = 0;
   Ns last_pull_ = 0;  ///< DMA descriptor-ring FIFO ordering
   std::function<void()> rx_wakeup_;
+  telemetry::GaugeHandle tm_rx_ring_hwm_;
+  telemetry::CounterHandle tm_imissed_;
 };
 
 /// The physical function: owns the wire-side TX port and RX pipeline.
@@ -81,7 +88,15 @@ class PhysNic : public Endpoint {
         config_(config),
         rng_(rng.split(0x4e4943)),
         tx_port_(queue, egress, config.line_rate, config.tx_queue_pkts),
-        rx_pipeline_(queue, config, rng.split(0x5250)) {}
+        rx_pipeline_(queue, config, rng.split(0x5250)) {
+    if (telemetry::Registry::current() != nullptr) {
+      const std::string base = "nic." + config_.name + ".";
+      tm_rx_drops_ = telemetry::counter(base + "rx_drops");
+      tm_rx_delivered_ = telemetry::counter(base + "rx_delivered");
+      tm_dma_pull_delay_ = telemetry::histogram(base + "dma_pull_delay_ns");
+      tx_port_.bind_telemetry(config_.name);
+    }
+  }
 
   /// Create a virtual function. The first VF created is also the default
   /// sink for frames matching no VF MAC when it is promiscuous.
@@ -119,6 +134,9 @@ class PhysNic : public Endpoint {
   std::size_t dma_in_flight_ = 0;  ///< accepted, not yet pulled
   std::uint64_t rx_drops_ = 0;
   std::uint64_t rx_delivered_ = 0;
+  telemetry::CounterHandle tm_rx_drops_;
+  telemetry::CounterHandle tm_rx_delivered_;
+  telemetry::HistogramHandle tm_dma_pull_delay_;
 };
 
 }  // namespace choir::net

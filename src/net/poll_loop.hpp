@@ -11,11 +11,13 @@
 
 #include <cmath>
 #include <functional>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/nic.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::net {
 
@@ -27,9 +29,17 @@ struct PollLoopConfig {
 
 class PollLoop {
  public:
-  PollLoop(sim::EventQueue& queue, Vf& vf, PollLoopConfig config, Rng rng)
+  PollLoop(sim::EventQueue& queue, Vf& vf, PollLoopConfig config, Rng rng,
+           const std::string& label = "poll")
       : queue_(queue), vf_(vf), config_(config), rng_(rng.split(0x504c)) {
     vf_.set_rx_wakeup([this] { wake(); });
+    if (telemetry::Registry::current() != nullptr) {
+      const std::string base = "poll." + label + ".";
+      tm_iterations_ = telemetry::counter(base + "iterations");
+      tm_wakeups_ = telemetry::counter(base + "wakeups");
+      tm_parks_ = telemetry::counter(base + "parks");
+      tm_track_ = telemetry::track(label);
+    }
   }
 
   /// `on_poll` runs once per loop iteration and must drain the VF ring;
@@ -55,7 +65,13 @@ class PollLoop {
   }
 
   void wake() {
-    if (running_ && !scheduled_) schedule_next(phase_delay());
+    if (running_ && !scheduled_) {
+      tm_wakeups_.add();
+      if (auto* tracer = telemetry::tracer()) {
+        tracer->instant("poll-wakeup", queue_.now(), tm_track_);
+      }
+      schedule_next(phase_delay());
+    }
   }
 
   void schedule_next(Ns delay) {
@@ -67,9 +83,11 @@ class PollLoop {
     scheduled_ = false;
     if (!running_) return;
     ++iterations_;
+    tm_iterations_.add();
     const bool worked = handler_ ? handler_() : false;
     idle_streak_ = worked ? 0 : idle_streak_ + 1;
     if (idle_streak_ >= config_.idle_polls_to_park && vf_.rx_pending() == 0) {
+      tm_parks_.add();
       return;  // park; the rx wakeup re-arms us
     }
     double jitter = config_.jitter_sigma_ns > 0.0
@@ -87,6 +105,10 @@ class PollLoop {
   bool scheduled_ = false;
   int idle_streak_ = 0;
   std::uint64_t iterations_ = 0;
+  telemetry::CounterHandle tm_iterations_;
+  telemetry::CounterHandle tm_wakeups_;
+  telemetry::CounterHandle tm_parks_;
+  std::uint32_t tm_track_ = 0;
 };
 
 }  // namespace choir::net

@@ -25,7 +25,11 @@ struct Switch::PortIngress : Endpoint {
 };
 
 Switch::Switch(sim::EventQueue& queue, const SwitchConfig& config, Rng rng)
-    : queue_(queue), config_(config), rng_(rng.split(0x5357)) {}
+    : queue_(queue), config_(config), rng_(rng.split(0x5357)) {
+  tm_forwarded_ = telemetry::counter("switch.forwarded");
+  tm_unroutable_ = telemetry::counter("switch.unroutable_drops");
+  tm_fcs_drops_ = telemetry::counter("switch.fcs_drops");
+}
 
 Switch::~Switch() = default;
 
@@ -38,6 +42,9 @@ std::size_t Switch::add_port(LinkConfig egress_link) {
   port->link = std::make_unique<Link>(queue_, egress_link);
   port->tx = std::make_unique<TxPort>(queue_, *port->link, config_.port_rate,
                                       config_.port_queue_pkts);
+  if (telemetry::Registry::current() != nullptr) {
+    port->tx->bind_telemetry("switch.port" + std::to_string(ports_.size()));
+  }
   port->ingress = std::make_unique<PortIngress>(this, ports_.size());
   ports_.push_back(std::move(port));
   return ports_.size() - 1;
@@ -70,16 +77,19 @@ void Switch::on_frame(std::size_t in_port, pktio::Mbuf* pkt, Ns wire_time) {
   // occupying the wire — the fate MoonGen-style filler frames rely on.
   if (pkt->frame.invalid_fcs) {
     ++fcs_drops_;
+    tm_fcs_drops_.add();
     pktio::Mempool::release(pkt);
     return;
   }
   const auto out = lookup(in_port, pkt);
   if (!out) {
     ++unroutable_;
+    tm_unroutable_.add();
     pktio::Mempool::release(pkt);
     return;
   }
   ++forwarded_;
+  tm_forwarded_.add();
   double jitter = 0.0;
   if (config_.processing_jitter_sigma_ns > 0.0) {
     jitter = std::abs(rng_.normal(0.0, config_.processing_jitter_sigma_ns));

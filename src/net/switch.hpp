@@ -20,6 +20,7 @@
 #include "net/link.hpp"
 #include "net/tx_port.hpp"
 #include "pktio/headers.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::net {
 
@@ -75,6 +76,9 @@ class Switch {
   std::uint64_t forwarded_ = 0;
   std::uint64_t unroutable_ = 0;
   std::uint64_t fcs_drops_ = 0;
+  telemetry::CounterHandle tm_forwarded_;
+  telemetry::CounterHandle tm_unroutable_;
+  telemetry::CounterHandle tm_fcs_drops_;
 };
 
 }  // namespace choir::net

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
 #include "net/link.hpp"
 #include "pktio/mbuf.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::net {
 
@@ -20,6 +22,18 @@ class TxPort {
   TxPort(sim::EventQueue& queue, Link& link, BitsPerSec rate,
          std::size_t queue_pkts)
       : queue_(queue), link_(link), rate_(rate), queue_pkts_(queue_pkts) {}
+
+  /// Register this port's metrics under `txport.<label>.` with the
+  /// current telemetry session (no-op when none is installed). The
+  /// queue-delay histogram measures how long a frame waited between
+  /// submission and the start of serialization — the port's queueing
+  /// contribution to end-to-end latency.
+  void bind_telemetry(const std::string& label) {
+    const std::string base = "txport." + label + ".";
+    tm_queue_delay_ = telemetry::histogram(base + "queue_delay_ns");
+    tm_drops_ = telemetry::counter(base + "drops");
+    tm_backlog_hwm_ = telemetry::gauge(base + "backlog_hwm");
+  }
 
   /// Submit a frame for transmission, no earlier than `not_before`.
   /// Serialization starts when the wire frees up; if more than
@@ -30,14 +44,17 @@ class TxPort {
     drain_completed(now);
     if (in_flight_ >= queue_pkts_) {
       ++drops_;
+      tm_drops_.add();
       pktio::Mempool::release(pkt);
       return false;
     }
     Ns start = busy_until_ > not_before ? busy_until_ : not_before;
     if (start < now) start = now;
     const Ns end = start + serialization_ns(pkt->frame.wire_len, rate_);
+    tm_queue_delay_.record(start - (not_before > now ? not_before : now));
     busy_until_ = end;
     ++in_flight_;
+    tm_backlog_hwm_.set_max(static_cast<std::int64_t>(in_flight_));
     ++tx_frames_;
     tx_bytes_ += pkt->frame.wire_len;
     // Completion: the frame's last bit leaves at `end`; hand to the link
@@ -74,6 +91,9 @@ class TxPort {
   std::uint64_t drops_ = 0;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t tx_bytes_ = 0;
+  telemetry::HistogramHandle tm_queue_delay_;
+  telemetry::CounterHandle tm_drops_;
+  telemetry::GaugeHandle tm_backlog_hwm_;
 };
 
 }  // namespace choir::net

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "pktio/mbuf.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::pktio {
 
@@ -42,7 +43,18 @@ struct EthDevStats {
 class EthDev {
  public:
   EthDev(std::string name, PortBackend& backend)
-      : name_(std::move(name)), backend_(&backend) {}
+      : name_(std::move(name)), backend_(&backend) {
+    if (telemetry::Registry::current() != nullptr) {
+      const std::string base = "port." + name_ + ".";
+      tm_rx_packets_ = telemetry::counter(base + "rx_packets");
+      tm_rx_bytes_ = telemetry::counter(base + "rx_bytes");
+      tm_rx_bursts_ = telemetry::counter(base + "rx_bursts");
+      tm_tx_packets_ = telemetry::counter(base + "tx_packets");
+      tm_tx_bytes_ = telemetry::counter(base + "tx_bytes");
+      tm_tx_bursts_ = telemetry::counter(base + "tx_bursts");
+      tm_tx_rejected_ = telemetry::counter(base + "tx_rejected");
+    }
+  }
 
   /// Receive a burst; fills pkts[0..ret) and updates stats.
   std::uint16_t rx_burst(Mbuf** pkts, std::uint16_t n) {
@@ -50,6 +62,13 @@ class EthDev {
     for (std::uint16_t i = 0; i < got; ++i) {
       ++stats_.ipackets;
       stats_.ibytes += pkts[i]->frame.wire_len;
+    }
+    if (got > 0 && tm_rx_packets_) {
+      tm_rx_packets_.add(got);
+      tm_rx_bursts_.add();
+      std::uint64_t bytes = 0;
+      for (std::uint16_t i = 0; i < got; ++i) bytes += pkts[i]->frame.wire_len;
+      tm_rx_bytes_.add(bytes);
     }
     return got;
   }
@@ -63,6 +82,18 @@ class EthDev {
       stats_.obytes += pkts[i]->frame.wire_len;
     }
     stats_.tx_rejected += n - sent;
+    if (tm_tx_packets_) {
+      if (sent > 0) {
+        tm_tx_packets_.add(sent);
+        tm_tx_bursts_.add();
+        std::uint64_t bytes = 0;
+        for (std::uint16_t i = 0; i < sent; ++i) {
+          bytes += pkts[i]->frame.wire_len;
+        }
+        tm_tx_bytes_.add(bytes);
+      }
+      if (sent < n) tm_tx_rejected_.add(n - sent);
+    }
     return sent;
   }
 
@@ -73,6 +104,13 @@ class EthDev {
   std::string name_;
   PortBackend* backend_;
   EthDevStats stats_;
+  telemetry::CounterHandle tm_rx_packets_;
+  telemetry::CounterHandle tm_rx_bytes_;
+  telemetry::CounterHandle tm_rx_bursts_;
+  telemetry::CounterHandle tm_tx_packets_;
+  telemetry::CounterHandle tm_tx_bytes_;
+  telemetry::CounterHandle tm_tx_bursts_;
+  telemetry::CounterHandle tm_tx_rejected_;
 };
 
 }  // namespace choir::pktio

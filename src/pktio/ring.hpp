@@ -37,6 +37,7 @@ class Ring {
       ++count_;
       ++accepted;
     }
+    if (count_ > high_water_) high_water_ = count_;
     return accepted;
   }
 
@@ -63,6 +64,8 @@ class Ring {
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return count_ == 0; }
   bool full() const { return count_ == capacity_; }
+  /// Largest occupancy ever reached (telemetry: ring pressure evidence).
+  std::size_t high_water() const { return high_water_; }
 
  private:
   std::vector<Mbuf*> slots_;
@@ -71,6 +74,7 @@ class Ring {
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
   std::size_t count_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace choir::pktio

@@ -1,0 +1,55 @@
+#include "telemetry/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace choir::telemetry {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = std::bit_width(v) - 1;  // >= kSubBits
+  const int shift = msb - kSubBits;
+  const auto block = static_cast<std::size_t>(msb - kSubBits + 1);
+  const auto sub = static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+  return (block << kSubBits) | sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::size_t block = i >> kSubBits;
+  const std::uint64_t sub = i & (kSubBuckets - 1);
+  const int msb = static_cast<int>(block) + kSubBits - 1;
+  return (1ull << msb) + (sub << (msb - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::bucket_width(std::size_t i) {
+  if (i < kSubBuckets) return 1;
+  const std::size_t block = i >> kSubBits;
+  const int msb = static_cast<int>(block) + kSubBits - 1;
+  return 1ull << (msb - kSubBits);
+}
+
+Ns LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  // The extreme ranks are the exactly-tracked envelope; return them
+  // directly rather than a bucket midpoint (makes p0/p100 and the
+  // single-sample case exact).
+  if (rank == 1 && clamped == 0.0) return min_;
+  if (rank == count_) return max_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const std::uint64_t mid = bucket_lo(i) + (bucket_width(i) - 1) / 2;
+      return std::clamp(static_cast<Ns>(mid), min_, max_);
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+}  // namespace choir::telemetry

@@ -1,0 +1,110 @@
+// Log2-bucketed latency histogram over the nanosecond domain.
+//
+// HDR-style layout: values below 16 get exact unit buckets; above that,
+// each power-of-two range is split into 16 linear sub-buckets, bounding
+// the relative quantization error of any reported percentile at 1/16
+// (~6%) while keeping the whole structure a flat 976-slot array — cheap
+// enough to record into from a per-packet path. Min and max are tracked
+// exactly, and percentiles are clamped into [min, max] so the empty- and
+// single-sample edge cases stay exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace choir::telemetry {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^4 linear slices per power-of-two range.
+  static constexpr int kSubBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+  /// Block 0 holds the 16 exact unit buckets; msb 4..63 each contribute a
+  /// block of 16 sub-buckets, so indices run 0..(61*16 - 1).
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits + 1) * kSubBuckets;  // 976
+
+  struct Summary {
+    std::uint64_t count = 0;
+    Ns min = 0;
+    Ns max = 0;
+    double mean = 0.0;
+    Ns p50 = 0;
+    Ns p90 = 0;
+    Ns p99 = 0;
+  };
+
+  /// Record one sample. Negative durations (which would indicate a
+  /// modelling bug upstream) are clamped to zero rather than dropped, so
+  /// the count stays honest.
+  void record(Ns value) {
+    const std::uint64_t v =
+        value > 0 ? static_cast<std::uint64_t>(value) : 0u;
+    ++counts_[bucket_index(v)];
+    ++count_;
+    sum_ += static_cast<double>(v);
+    if (count_ == 1 || static_cast<Ns>(v) < min_) min_ = static_cast<Ns>(v);
+    if (static_cast<Ns>(v) > max_) max_ = static_cast<Ns>(v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  Ns min() const { return count_ > 0 ? min_ : 0; }
+  Ns max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at percentile `p` in [0, 100]. Returns the midpoint of the
+  /// bucket holding the rank-`ceil(p/100 * count)` sample, clamped to the
+  /// exact [min, max] envelope. Empty histograms report 0.
+  Ns percentile(double p) const;
+
+  Summary summary() const {
+    Summary s;
+    s.count = count_;
+    s.min = min();
+    s.max = max();
+    s.mean = mean();
+    s.p50 = percentile(50.0);
+    s.p90 = percentile(90.0);
+    s.p99 = percentile(99.0);
+    return s;
+  }
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return counts_;
+  }
+
+  /// Index of the bucket holding `v`.
+  static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lo(std::size_t i);
+  /// Width of bucket `i` (hi = lo + width, exclusive).
+  static std::uint64_t bucket_width(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Ns min_ = 0;
+  Ns max_ = 0;
+};
+
+/// Null-safe reference to a Registry-owned histogram.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
+  void record(Ns value) {
+    if (histogram_ != nullptr) histogram_->record(value);
+  }
+  explicit operator bool() const { return histogram_ != nullptr; }
+
+ private:
+  LatencyHistogram* histogram_ = nullptr;
+};
+
+}  // namespace choir::telemetry

@@ -1,0 +1,67 @@
+// Scalar metrics: monotone counters and set/peak gauges.
+//
+// Instrumented components never talk to the Registry on the hot path:
+// they resolve a handle once (at construction, while a telemetry session
+// is installed) and increment through it. When no session is installed
+// the handle is null and every operation is a single branch — telemetry
+// must be affordable to leave compiled into every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace choir::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  /// High-water-mark update: keep the largest value ever seen.
+  void set_max(std::int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Null-safe reference to a Registry-owned counter.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(Counter* counter) : counter_(counter) {}
+  void add(std::uint64_t n = 1) {
+    if (counter_ != nullptr) counter_->add(n);
+  }
+  explicit operator bool() const { return counter_ != nullptr; }
+
+ private:
+  Counter* counter_ = nullptr;
+};
+
+/// Null-safe reference to a Registry-owned gauge.
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(Gauge* gauge) : gauge_(gauge) {}
+  void set(std::int64_t v) {
+    if (gauge_ != nullptr) gauge_->set(v);
+  }
+  void set_max(std::int64_t v) {
+    if (gauge_ != nullptr) gauge_->set_max(v);
+  }
+  explicit operator bool() const { return gauge_ != nullptr; }
+
+ private:
+  Gauge* gauge_ = nullptr;
+};
+
+}  // namespace choir::telemetry

@@ -1,0 +1,63 @@
+// Sampler: periodic registry snapshots on the simulation timeline.
+//
+// Runs as a self-rescheduling event on the sim::EventQueue. Each tick
+// copies every counter and gauge into a Snapshot (retained in order and,
+// optionally, streamed to a sink), producing the JSONL time series the
+// experiment runner exports. A tick only *reads* simulation state — it
+// draws no randomness and mutates nothing the simulation observes — so
+// enabling sampling cannot reorder a seeded run; it merely interleaves
+// pure-observer events between the real ones.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "telemetry/registry.hpp"
+
+namespace choir::telemetry {
+
+class Sampler {
+ public:
+  Sampler(sim::EventQueue& queue, const Registry& registry, Ns period)
+      : queue_(queue), registry_(registry), period_(period) {}
+
+  /// Begin sampling; the first snapshot lands one period from now.
+  void start() {
+    if (running_) return;
+    running_ = true;
+    queue_.schedule_in(period_, [this] { tick(); });
+  }
+
+  void stop() { running_ = false; }
+
+  /// Take a snapshot immediately (used for the final post-run sample).
+  void sample_now() {
+    samples_.push_back(registry_.snapshot(queue_.now()));
+    if (sink_) sink_(samples_.back());
+  }
+
+  /// Optional streaming consumer, called after each snapshot is taken.
+  void set_sink(std::function<void(const Snapshot&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  const std::vector<Snapshot>& samples() const { return samples_; }
+  Ns period() const { return period_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    sample_now();
+    queue_.schedule_in(period_, [this] { tick(); });
+  }
+
+  sim::EventQueue& queue_;
+  const Registry& registry_;
+  Ns period_;
+  bool running_ = false;
+  std::function<void(const Snapshot&)> sink_;
+  std::vector<Snapshot> samples_;
+};
+
+}  // namespace choir::telemetry

@@ -1,0 +1,44 @@
+#include "telemetry/telemetry.hpp"
+
+namespace choir::telemetry {
+
+namespace {
+Registry* g_registry = nullptr;
+Tracer* g_tracer = nullptr;
+}  // namespace
+
+Registry* Registry::current() { return g_registry; }
+Tracer* Tracer::current() { return g_tracer; }
+
+ScopedTelemetry::ScopedTelemetry(Registry* registry, Tracer* tracer)
+    : prev_registry_(g_registry), prev_tracer_(g_tracer) {
+  g_registry = registry;
+  g_tracer = tracer;
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  g_registry = prev_registry_;
+  g_tracer = prev_tracer_;
+}
+
+CounterHandle counter(const std::string& name) {
+  return g_registry != nullptr ? CounterHandle(&g_registry->counter(name))
+                               : CounterHandle();
+}
+
+GaugeHandle gauge(const std::string& name) {
+  return g_registry != nullptr ? GaugeHandle(&g_registry->gauge(name))
+                               : GaugeHandle();
+}
+
+HistogramHandle histogram(const std::string& name) {
+  return g_registry != nullptr
+             ? HistogramHandle(&g_registry->histogram(name))
+             : HistogramHandle();
+}
+
+std::uint32_t track(const std::string& name) {
+  return g_tracer != nullptr ? g_tracer->track(name) : 0;
+}
+
+}  // namespace choir::telemetry

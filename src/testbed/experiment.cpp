@@ -1,8 +1,11 @@
 #include "testbed/experiment.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
+#include <optional>
 
+#include "analysis/export.hpp"
 #include "choir/controller.hpp"
 #include "choir/middlebox.hpp"
 #include "common/expect.hpp"
@@ -16,6 +19,8 @@
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ptp.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/recorder.hpp"
 
 namespace choir::testbed {
@@ -113,8 +118,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                "experiments support 1 or 2 replayers");
   CHOIR_EXPECT(config.runs >= 2, "need at least two runs to compare");
 
+  // ---- Telemetry session ----------------------------------------------
+  // Installed before any component is constructed so every layer binds
+  // its handles. Strictly an observer of the simulation: it must never
+  // change what a seeded run computes (see TelemetryOptions).
+  std::shared_ptr<telemetry::Registry> registry;
+  std::shared_ptr<telemetry::Tracer> tracer;
+  std::optional<telemetry::ScopedTelemetry> telemetry_session;
+  if (config.telemetry.enabled) {
+    registry = std::make_shared<telemetry::Registry>();
+    tracer =
+        std::make_shared<telemetry::Tracer>(config.telemetry.max_trace_events);
+    telemetry_session.emplace(registry.get(), tracer.get());
+  }
+
   sim::EventQueue queue;
   Rng root(config.seed * 0x9e3779b97f4a7c15ULL + 0x43484f4952ULL);
+
+  std::optional<telemetry::Sampler> sampler;
+  if (config.telemetry.enabled) {
+    sampler.emplace(queue, *registry, config.telemetry.sample_period);
+    sampler->start();
+  }
 
   // ---- Clocks & PTP --------------------------------------------------
   sim::NodeClock gen_clock{sim::TscClock(2.5, root.uniform(-5, 5)),
@@ -142,9 +167,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   net::Switch sw(queue, env.switch_config, root.split(0x5357));
 
   // ---- Recorder --------------------------------------------------------
+  // NIC configs are copied to stamp telemetry labels; the labels carry no
+  // timing information.
   auto rec_stub = std::make_unique<net::Link>(queue);
-  net::PhysNic rec_phys(queue, env.recorder_nic, root.split(0x524543),
-                        *rec_stub);
+  net::NicConfig rec_nic = env.recorder_nic;
+  rec_nic.name = "recorder";
+  net::PhysNic rec_phys(queue, rec_nic, root.split(0x524543), *rec_stub);
   net::Vf& rec_vf = rec_phys.add_vf(pktio::mac_for_node(kRecorder));
   trace::CaptureDaemon daemon(queue, rec_vf, {}, root.split(0x444d));
   const std::size_t rec_port_in = sw.add_port();  // egress to recorder
@@ -166,8 +194,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
     // Generator port -> switch -> replayer in-port.
     p.gen_to_switch = std::make_unique<net::Link>(queue);
-    p.gen_phys = std::make_unique<net::PhysNic>(
-        queue, env.generator_nic, prng.split(1), *p.gen_to_switch);
+    net::NicConfig gen_nic = env.generator_nic;
+    gen_nic.name = "gen" + std::to_string(i);
+    p.gen_phys = std::make_unique<net::PhysNic>(queue, gen_nic,
+                                                prng.split(1), *p.gen_to_switch);
     p.gen_vf = &p.gen_phys->add_vf(pktio::mac_for_node(gen_id));
     p.ctl_vf = &p.gen_phys->add_vf(pktio::mac_for_node(kController));
     const std::size_t port_from_gen = sw.add_port();
@@ -176,16 +206,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     sw.set_port_forward(port_from_gen, port_to_repl);
 
     p.repl_in_stub = std::make_unique<net::Link>(queue);
+    net::NicConfig repl_in_nic = env.replayer_nic;
+    repl_in_nic.name = "repl" + std::to_string(i) + "-in";
     p.repl_in_phys = std::make_unique<net::PhysNic>(
-        queue, env.replayer_nic, prng.split(2), *p.repl_in_stub);
+        queue, repl_in_nic, prng.split(2), *p.repl_in_stub);
     p.repl_in_vf = &p.repl_in_phys->add_vf(
         pktio::mac_for_node(repl_id), /*promiscuous=*/true);
     sw.egress_link(port_to_repl).connect(*p.repl_in_phys);
 
     // Replayer out-port -> switch -> recorder (merged in dual setups).
     p.repl_out_to_switch = std::make_unique<net::Link>(queue);
+    net::NicConfig repl_out_nic = env.replayer_nic;
+    repl_out_nic.name = "repl" + std::to_string(i) + "-out";
     p.repl_out_phys = std::make_unique<net::PhysNic>(
-        queue, env.replayer_nic, prng.split(3), *p.repl_out_to_switch);
+        queue, repl_out_nic, prng.split(3), *p.repl_out_to_switch);
     p.repl_out_vf =
         &p.repl_out_phys->add_vf(pktio::mac_for_node(repl_id), true);
     const std::size_t port_from_repl = sw.add_port();
@@ -237,12 +271,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     } else {
       // Dedicated experiment NICs: noise flows over its own hardware.
       noise_link_a = std::make_unique<net::Link>(queue);
+      net::NicConfig noise_nic_a = env.replayer_nic;
+      noise_nic_a.name = "noise-client";
       noise_phys_a = std::make_unique<net::PhysNic>(
-          queue, env.replayer_nic, root.split(0x4e41), *noise_link_a);
+          queue, noise_nic_a, root.split(0x4e41), *noise_link_a);
       client_vf = &noise_phys_a->add_vf(pktio::mac_for_node(kNoiseClient));
       noise_stub_b = std::make_unique<net::Link>(queue);
+      net::NicConfig noise_nic_b = env.recorder_nic;
+      noise_nic_b.name = "noise-sink";
       noise_phys_b = std::make_unique<net::PhysNic>(
-          queue, env.recorder_nic, root.split(0x4e42), *noise_stub_b);
+          queue, noise_nic_b, root.split(0x4e42), *noise_stub_b);
       sink_vf = &noise_phys_b->add_vf(pktio::mac_for_node(kNoiseSink));
       const std::size_t pa = sw.add_port();
       const std::size_t pb = sw.add_port();
@@ -254,7 +292,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // The iperf "server": continuously consumes the noise stream so its
     // buffers recycle (an unarmed capture daemon drains and discards).
     noise_server = std::make_unique<trace::CaptureDaemon>(
-        queue, *sink_vf, net::PollLoopConfig{}, root.split(0x4e53));
+        queue, *sink_vf, net::PollLoopConfig{}, root.split(0x4e53),
+        "noise-server");
     noise = std::make_unique<net::NoiseSource>(
         queue, *client_vf, *noise_pool,
         flow_between(kNoiseClient, kNoiseSink, 5201, 5201), env.noise,
@@ -344,6 +383,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (noise != nullptr) noise->run(milliseconds(2), end_of_world);
   queue.run_until(end_of_world);
 
+  if (tracer != nullptr) {
+    // Experiment phases on track 0; the boundaries are schedule constants,
+    // so emitting them after the run perturbs nothing.
+    tracer->span("record-phase", milliseconds(1), record_end, 0);
+    for (int r = 0; r < config.runs; ++r) {
+      const Ns wall_start = replay_base + r * run_spacing;
+      tracer->span("run-" + std::to_string(r), wall_start - arm_margin,
+                   wall_start + trial_duration + arm_margin, 0);
+    }
+  }
+
   // ---- Evaluate --------------------------------------------------------
   ExperimentResult result;
   result.trial_duration = trial_duration;
@@ -368,6 +418,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   result.mean = mean_metrics(result.comparisons);
   if (config.keep_captures) result.captures = std::move(captures);
+
+  if (config.telemetry.enabled) {
+    sampler->sample_now();  // final snapshot at end_of_world
+    result.telemetry_samples = sampler->samples();
+    result.telemetry_registry = registry;
+    result.telemetry_trace = tracer;
+    if (!config.telemetry.dir.empty()) {
+      std::filesystem::create_directories(config.telemetry.dir);
+      const std::string dir = config.telemetry.dir + "/";
+      analysis::write_snapshots_jsonl(result.telemetry_samples,
+                                      dir + "counters.jsonl");
+      analysis::write_histogram_summaries_csv(*registry,
+                                              dir + "histograms.csv");
+      analysis::write_chrome_trace(*tracer, dir + "trace.json");
+    }
+  }
   return result;
 }
 

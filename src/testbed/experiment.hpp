@@ -5,10 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "choir/middlebox.hpp"
 #include "core/metrics.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "testbed/presets.hpp"
 #include "trace/capture.hpp"
 
@@ -23,6 +27,21 @@ enum class ReplayEngine {
   kGapFill,   ///< MoonGen/GapReplay invalid-packet gap filling
 };
 
+/// Observability for a run. Telemetry is zero-perturbation: with the
+/// same seed, every metric of the run is bit-identical whether it is
+/// enabled or not (enforced by the determinism regression test).
+struct TelemetryOptions {
+  bool enabled = false;
+  /// When non-empty, run_experiment writes artifacts into this directory
+  /// (created if missing): counters.jsonl (sampled time series),
+  /// trace.json (Chrome/Perfetto trace), histograms.csv (percentiles).
+  std::string dir;
+  /// Registry sampling period on the simulated timeline.
+  Ns sample_period = milliseconds(5);
+  /// Trace-event memory bound; past it, events count as dropped.
+  std::size_t max_trace_events = telemetry::Tracer::kDefaultMaxEvents;
+};
+
 struct ExperimentConfig {
   EnvironmentPreset env;
   /// Total packets per trial (split across replayers in dual topologies).
@@ -35,6 +54,7 @@ struct ExperimentConfig {
   /// Keep raw captures in the result (memory-heavy at full scale).
   bool keep_captures = false;
   ReplayEngine engine = ReplayEngine::kChoir;
+  TelemetryOptions telemetry;
 };
 
 struct ExperimentResult {
@@ -54,6 +74,11 @@ struct ExperimentResult {
   std::uint64_t switch_queue_drops = 0;
   std::uint64_t replay_tx_drops = 0;     ///< replayer egress tail drops
   Ns trial_duration = 0;                 ///< nominal stream duration
+
+  // Telemetry artifacts; populated iff config.telemetry.enabled.
+  std::shared_ptr<telemetry::Registry> telemetry_registry;
+  std::shared_ptr<telemetry::Tracer> telemetry_trace;
+  std::vector<telemetry::Snapshot> telemetry_samples;
 };
 
 /// Run one full experiment. Deterministic in (config, seed).

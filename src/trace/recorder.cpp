@@ -4,8 +4,13 @@ namespace choir::trace {
 
 void CaptureDaemon::arm(Ns from, Ns until, Capture* out) {
   queue_.schedule_at(from, [this, out] { active_ = out; });
-  queue_.schedule_at(until, [this, out] {
+  queue_.schedule_at(until, [this, out, from, until] {
     if (active_ == out) active_ = nullptr;
+    if (auto* tracer = telemetry::tracer()) {
+      tracer->span("capture-window", from, until, tm_track_,
+                   "{\"capture\":\"" + telemetry::json_escape(out->name()) +
+                       "\"}");
+    }
   });
 }
 
@@ -21,8 +26,10 @@ bool CaptureDaemon::drain() {
       if (active_ != nullptr) {
         active_->append(CaptureRecord::from_frame(m->frame, m->rx_timestamp));
         ++recorded_;
+        tm_recorded_.add();
       } else {
         ++discarded_;
+        tm_discarded_.add();
       }
       pktio::Mempool::release(m);
     }

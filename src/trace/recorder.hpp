@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ethdev.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/capture.hpp"
 
 namespace choir::trace {
@@ -20,8 +22,14 @@ namespace choir::trace {
 class CaptureDaemon {
  public:
   CaptureDaemon(sim::EventQueue& queue, net::Vf& vf,
-                net::PollLoopConfig poll = {}, Rng rng = Rng{0xCAFE})
-      : queue_(queue), dev_("recorder", vf), loop_(queue, vf, poll, rng) {
+                net::PollLoopConfig poll = {}, Rng rng = Rng{0xCAFE},
+                const std::string& label = "recorder")
+      : queue_(queue),
+        dev_(label, vf),
+        loop_(queue, vf, poll, rng, label),
+        tm_recorded_(telemetry::counter(label + ".captured")),
+        tm_discarded_(telemetry::counter(label + ".discarded")),
+        tm_track_(telemetry::track(label)) {
     loop_.set_handler([this] { return drain(); });
     loop_.start();
   }
@@ -44,6 +52,9 @@ class CaptureDaemon {
   Capture* active_ = nullptr;
   std::uint64_t discarded_ = 0;
   std::uint64_t recorded_ = 0;
+  telemetry::CounterHandle tm_recorded_;
+  telemetry::CounterHandle tm_discarded_;
+  std::uint32_t tm_track_ = 0;
 };
 
 }  // namespace choir::trace

@@ -5,6 +5,7 @@
 //   run <env> [opts]          run an experiment, print metrics
 //   figure <env> [opts]       run and print IAT/latency histograms
 //   save <env> <dir> [opts]   run and write per-run .trc and .pcap files
+//   stats <env> [opts]        run with telemetry, print counter/latency stats
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
 //
 // Options:
@@ -12,6 +13,8 @@
 //   --runs N       replays including run A (default 5)
 //   --seed N       experiment seed (default 1)
 //   --engine E     choir | sleep | busywait | gapfill (default choir)
+//   --telemetry D  collect telemetry and write counters.jsonl,
+//                  histograms.csv and trace.json into directory D
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -38,10 +41,11 @@ int usage() {
       "  run <env> [opts]              run an experiment, print metrics\n"
       "  figure <env> [opts]           print IAT/latency delta histograms\n"
       "  save <env> <dir> [opts]       write per-run .trc/.pcap files\n"
+      "  stats <env> [opts]            run with telemetry, print stats\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
       "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
-      "choir|sleep|busywait|gapfill\n");
+      "choir|sleep|busywait|gapfill  --telemetry DIR\n");
   return 2;
 }
 
@@ -60,7 +64,9 @@ struct Options {
   int runs = 5;
   std::uint64_t seed = 1;
   testbed::ReplayEngine engine = testbed::ReplayEngine::kChoir;
-  std::string csv_dir;  ///< when set, write CSV artifacts there
+  std::string csv_dir;        ///< when set, write CSV artifacts there
+  std::string telemetry_dir;  ///< when set, collect + export telemetry
+  bool telemetry = false;
   bool ok = true;
 };
 
@@ -82,6 +88,9 @@ Options parse_options(const std::vector<std::string>& args,
       opt.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--csv") {
       opt.csv_dir = value;
+    } else if (key == "--telemetry") {
+      opt.telemetry = true;
+      opt.telemetry_dir = value;
     } else if (key == "--engine") {
       if (value == "choir") {
         opt.engine = testbed::ReplayEngine::kChoir;
@@ -110,6 +119,8 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.seed = opt.seed;
   cfg.engine = opt.engine;
   cfg.keep_captures = keep_captures;
+  cfg.telemetry.enabled = opt.telemetry;
+  cfg.telemetry.dir = opt.telemetry_dir;
   return run_experiment(cfg);
 }
 
@@ -176,6 +187,51 @@ int cmd_run(const std::vector<std::string>& args, bool figures) {
   return 0;
 }
 
+int cmd_stats(const std::vector<std::string>& args) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  Options opt = parse_options(args, 3);
+  if (!opt.ok) return usage();
+  opt.telemetry = true;
+  const auto result = run_with(env, opt, false);
+  std::printf("%s: %llu packets/trial, %d runs, mean kappa %.4f\n",
+              env.name.c_str(),
+              static_cast<unsigned long long>(result.recorded_packets),
+              opt.runs, result.mean.kappa);
+
+  const auto& registry = *result.telemetry_registry;
+  const auto snapshot = registry.snapshot(0);
+  std::printf("-- counters --\n");
+  for (const auto& [name, value] : snapshot.counters) {
+    std::printf("  %-42s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("-- gauges --\n");
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::printf("  %-42s %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  std::printf("-- latency histograms (ns) --\n");
+  std::printf("  %-42s %10s %10s %10s %10s %10s\n", "name", "count", "p50",
+              "p90", "p99", "max");
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const auto s = histogram.summary();
+    std::printf("  %-42s %10llu %10lld %10lld %10lld %10lld\n", name.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<long long>(s.p50), static_cast<long long>(s.p90),
+                static_cast<long long>(s.p99), static_cast<long long>(s.max));
+  }
+  const auto& tracer = *result.telemetry_trace;
+  std::printf("-- trace --\n  %zu events recorded, %llu dropped\n",
+              tracer.events().size(),
+              static_cast<unsigned long long>(tracer.dropped()));
+  if (!opt.telemetry_dir.empty()) {
+    std::printf("wrote %s/{counters.jsonl,histograms.csv,trace.json}\n",
+                opt.telemetry_dir.c_str());
+  }
+  return 0;
+}
+
 int cmd_save(const std::vector<std::string>& args) {
   testbed::EnvironmentPreset env;
   if (args.size() < 4 || !find_preset(args[2], &env)) return usage();
@@ -231,8 +287,9 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args, false);
     if (command == "figure") return cmd_run(args, true);
     if (command == "save") return cmd_save(args);
+    if (command == "stats") return cmd_stats(args);
     if (command == "compare") return cmd_compare(args);
-  } catch (const choir::Error& error) {
+  } catch (const std::exception& error) {
     std::fprintf(stderr, "choirctl: %s\n", error.what());
     return 1;
   }
