@@ -1,0 +1,80 @@
+// Chaos sweep: consistency under deterministic fault injection.
+//
+// Runs the local single-replayer environment under the shipped chaos
+// plan at increasing intensity and reports kappa erosion plus the
+// per-layer fault audit trail. kappa is averaged over three seeds per
+// intensity so the trend, not one seed's packet lottery, is what the
+// table shows. Scale via CHOIR_FULL=1 / CHOIR_SCALE=<n> as usual.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "testbed/scale.hpp"
+
+int main() {
+  using namespace choir;
+  const std::uint64_t packets = testbed::scale_from_env() / 2;
+  const double intensities[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::uint64_t seeds[] = {2025, 2026, 2027};
+
+  analysis::TextTable table({"Intensity", "kappa", "U", "O", "I", "link",
+                             "nic", "mempool", "ctl retries"});
+  std::printf("=== chaos sweep: kappa vs fault intensity ===\n");
+  std::printf("environment: chaos-single (local single + chaos plan), "
+              "%llu packets x 3 runs x %zu seeds per row\n\n",
+              static_cast<unsigned long long>(packets),
+              sizeof(seeds) / sizeof(seeds[0]));
+
+  for (const double intensity : intensities) {
+    double kappa = 0, u = 0, o = 0, i_metric = 0;
+    std::uint64_t link = 0, nic = 0, mem = 0, retries = 0;
+    int n = 0;
+    for (const std::uint64_t seed : seeds) {
+      testbed::ExperimentConfig cfg;
+      cfg.env = testbed::chaos_single(intensity);
+      cfg.packets = packets;
+      cfg.runs = 3;
+      cfg.seed = seed;
+      cfg.collect_series = false;
+      const auto r = run_experiment(cfg);
+      kappa += r.mean.kappa;
+      u += r.mean.uniqueness;
+      o += r.mean.ordering;
+      i_metric += r.mean.iat;
+      const auto& fs = r.fault_stats;
+      link += fs.link_down_drops + fs.frames_dropped + fs.frames_corrupted +
+              fs.frames_duplicated + fs.frames_reordered;
+      nic += fs.rx_stalled_polls + fs.tx_stalled_bursts + fs.bursts_truncated;
+      mem += fs.allocs_denied;
+      retries += r.control_retries;
+      ++n;
+      std::fprintf(stderr, "done: intensity %.2f seed %llu\n", intensity,
+                   static_cast<unsigned long long>(seed));
+    }
+    char col[9][24];
+    std::snprintf(col[0], sizeof(col[0]), "%.2f", intensity);
+    std::snprintf(col[1], sizeof(col[1]), "%.4f", kappa / n);
+    std::snprintf(col[2], sizeof(col[2]), "%.2e", u / n);
+    std::snprintf(col[3], sizeof(col[3]), "%.2e", o / n);
+    std::snprintf(col[4], sizeof(col[4]), "%.4f", i_metric / n);
+    std::snprintf(col[5], sizeof(col[5]), "%llu",
+                  static_cast<unsigned long long>(link));
+    std::snprintf(col[6], sizeof(col[6]), "%llu",
+                  static_cast<unsigned long long>(nic));
+    std::snprintf(col[7], sizeof(col[7]), "%llu",
+                  static_cast<unsigned long long>(mem));
+    std::snprintf(col[8], sizeof(col[8]), "%llu",
+                  static_cast<unsigned long long>(retries));
+    table.add_row({col[0], col[1], col[2], col[3], col[4], col[5], col[6],
+                   col[7], col[8]});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nReading: kappa decreases monotonically with intensity. Per-frame "
+      "link faults\n(drops, corruption, duplication, reordering) hit each "
+      "replay differently and\ndrive U and O off zero; NIC stalls and "
+      "burst truncation add replay-side IAT\nnoise; mempool windows thin "
+      "the recording identically for every run (graceful\ntruncation, no "
+      "kappa cost). Every fault is counted, none is fatal.\n");
+  return 0;
+}

@@ -36,6 +36,14 @@ struct ChoirConfig {
   double slip_mu_log_ns = 0.0;
   double slip_sigma_log = 0.0;
 
+  /// Resynchronization after a stall: if a replay burst comes due more
+  /// than this far in the past (the transmit loop was starved by a NIC
+  /// stall or a long ring-full spin), the pacing anchor is shifted
+  /// forward so the remaining bursts keep their recorded spacing instead
+  /// of blasting out back-to-back. 0 disables (the default — the
+  /// original catch-up behaviour, which seeded experiments rely on).
+  Ns replay_resync_threshold_ns = 0;
+
   /// RAM bound on the replay buffer, in packets ("the primary restriction
   /// is RAM, which only controls how large the replay buffer is").
   std::size_t max_recorded_packets = 4'000'000;

@@ -18,6 +18,12 @@ void encode_control(pktio::Frame& frame, const pktio::FlowAddress& flow,
   for (int i = 0; i < 8; ++i) {
     t[3 + i] = static_cast<std::uint8_t>(msg.arg >> (56 - 8 * i));
   }
+  if (msg.sequenced) {
+    for (int i = 0; i < 4; ++i) {
+      t[11 + i] = static_cast<std::uint8_t>(msg.seq >> (24 - 8 * i));
+    }
+    t[15] = kCtlFlagSequenced;
+  }
 }
 
 std::optional<ControlMessage> decode_control(const pktio::Frame& frame) {
@@ -33,6 +39,10 @@ std::optional<ControlMessage> decode_control(const pktio::Frame& frame) {
   msg.op = static_cast<Op>(t[2]);
   msg.arg = 0;
   for (int i = 0; i < 8; ++i) msg.arg = (msg.arg << 8) | t[3 + i];
+  msg.sequenced = (t[15] & kCtlFlagSequenced) != 0;
+  if (msg.sequenced) {
+    for (int i = 0; i < 4; ++i) msg.seq = (msg.seq << 8) | t[11 + i];
+  }
   return msg;
 }
 

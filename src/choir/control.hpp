@@ -4,7 +4,13 @@
 // frames (the paper's evaluations run control in-band to conserve NICs;
 // an out-of-band control port uses the same encoding). A control frame is
 // a UDP datagram to the Choir control port whose trailer carries a
-// control magic, an opcode, and a 64-bit argument.
+// control magic, an opcode, a 64-bit argument, and (optionally) a
+// sequence number that makes redundant retransmission idempotent: a
+// middlebox executes a sequenced command only if its number is higher
+// than any it has executed before, so a controller may resend a command
+// several times across a lossy channel without double-execution.
+// Unsequenced frames (flags bit clear — everything an older encoder
+// emits) always execute, preserving the original semantics.
 #pragma once
 
 #include <cstdint>
@@ -27,9 +33,15 @@ enum class Op : std::uint8_t {
   kPing = 5,
 };
 
+/// Trailer flag bits (trailer byte 15).
+inline constexpr std::uint8_t kCtlFlagSequenced = 0x01;
+
 struct ControlMessage {
   Op op = Op::kPing;
   std::uint64_t arg = 0;
+  /// Idempotency sequence number; meaningful only when `sequenced`.
+  std::uint32_t seq = 0;
+  bool sequenced = false;
 };
 
 /// Build a control frame addressed by `flow` (dst UDP port is forced to

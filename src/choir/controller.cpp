@@ -1,22 +1,58 @@
 #include "choir/controller.hpp"
 
-#include "common/expect.hpp"
-
 namespace choir::app {
 
 void Controller::send_at(Ns at, const pktio::FlowAddress& flow,
                          const ControlMessage& msg) {
-  queue_.schedule_at(at, [this, flow, msg] {
-    pktio::Mbuf* m = pool_.alloc();
-    CHOIR_EXPECT(m != nullptr, "controller pool exhausted");
-    encode_control(m->frame, flow, msg);
-    pktio::Mbuf* burst[1] = {m};
-    if (vf_.backend_tx(burst, 1) != 1) {
-      pktio::Mempool::release(m);
-      return;
+  ControlMessage out = msg;
+  if (retry_.max_attempts > 1) {
+    out.seq = ++next_seq_;
+    out.sequenced = true;
+  }
+  queue_.schedule_at(at, [this, flow, out] { attempt(flow, out, 0); });
+}
+
+void Controller::attempt(const pktio::FlowAddress& flow,
+                         const ControlMessage& msg,
+                         std::uint32_t attempt_no) {
+  // Schedule the next redundant attempt first, so a local failure below
+  // never silences the command: backoff grows geometrically and the
+  // schedule is cut off at the per-command timeout.
+  if (attempt_no + 1 < retry_.max_attempts) {
+    double gap = static_cast<double>(retry_.initial_backoff);
+    Ns offset = 0;
+    for (std::uint32_t k = 0; k < attempt_no; ++k) {
+      offset += static_cast<Ns>(gap);
+      gap *= retry_.multiplier;
     }
-    ++sent_;
-  });
+    const Ns next_offset = offset + static_cast<Ns>(gap);
+    if (next_offset <= retry_.timeout) {
+      queue_.schedule_in(static_cast<Ns>(gap), [this, flow, msg, attempt_no] {
+        ++retries_;
+        tm_retries_.add();
+        attempt(flow, msg, attempt_no + 1);
+      });
+    }
+  }
+
+  pktio::Mbuf* m = pool_.alloc();
+  if (m == nullptr) {
+    // Degrade, don't abort: the command may still land via a retry, and
+    // the failure is visible to the experiment through the counter.
+    ++send_failures_;
+    tm_failures_.add();
+    return;
+  }
+  encode_control(m->frame, flow, msg);
+  pktio::Mbuf* burst[1] = {m};
+  if (vf_.backend_tx(burst, 1) != 1) {
+    pktio::Mempool::release(m);
+    ++send_failures_;
+    tm_failures_.add();
+    return;
+  }
+  ++sent_;
+  tm_sent_.add();
 }
 
 }  // namespace choir::app

@@ -1,24 +1,57 @@
 // User-side control client: issues record/replay commands to middleboxes
 // over the (in-band) control channel, the way the paper's Jupyter driver
 // does over FABlib.
+//
+// The channel is fire-and-forget UDP, so robustness against loss is
+// blind retransmission: with retry enabled every command is sent up to
+// `max_attempts` times, spaced by exponentially growing backoff and cut
+// off by a per-command timeout. Each command carries a fresh sequence
+// number and middleboxes deduplicate, so redundant copies are harmless.
+// The default config (one attempt) is byte-identical to the original
+// single-shot behaviour.
 #pragma once
 
 #include "choir/control.hpp"
+#include "common/units.hpp"
 #include "pktio/mbuf.hpp"
 #include "net/nic.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::app {
+
+struct ControlRetryConfig {
+  /// Total transmissions per command (1 = no redundancy, the default —
+  /// and the default also leaves frames unsequenced, so behaviour is
+  /// bit-identical to the pre-retry controller).
+  std::uint32_t max_attempts = 1;
+  /// Gap between attempt k and k+1 is initial_backoff * multiplier^k.
+  Ns initial_backoff = microseconds(100);
+  double multiplier = 2.0;
+  /// No attempt is scheduled later than this after the first.
+  Ns timeout = milliseconds(4);
+};
 
 class Controller {
  public:
   Controller(sim::EventQueue& queue, sim::NodeClock& clock, net::Vf& vf,
              pktio::Mempool& pool)
-      : queue_(queue), clock_(clock), vf_(vf), pool_(pool) {}
+      : queue_(queue), clock_(clock), vf_(vf), pool_(pool) {
+    if (telemetry::Registry::current() != nullptr) {
+      tm_sent_ = telemetry::counter("controller.sent");
+      tm_retries_ = telemetry::counter("controller.retries");
+      tm_failures_ = telemetry::counter("controller.send_failures");
+    }
+  }
+
+  void set_retry(const ControlRetryConfig& retry) { retry_ = retry; }
+  const ControlRetryConfig& retry() const { return retry_; }
 
   /// Send a control message to the middlebox addressed by `flow`, at
-  /// simulated time `at` (the command dispatch instant).
+  /// simulated time `at` (the command dispatch instant). With retry
+  /// enabled the command is assigned the next sequence number and
+  /// retransmitted on the backoff schedule.
   void send_at(Ns at, const pktio::FlowAddress& flow,
                const ControlMessage& msg);
 
@@ -44,13 +77,28 @@ class Controller {
   Ns wall_now() const { return clock_.system.read(queue_.now()); }
 
   std::uint64_t sent() const { return sent_; }
+  /// Redundant retransmissions performed (attempts beyond the first).
+  std::uint64_t retries() const { return retries_; }
+  /// Attempts that failed locally (pool exhausted or tx ring rejected).
+  /// These degrade to a counter — a remaining retry may still land.
+  std::uint64_t send_failures() const { return send_failures_; }
 
  private:
+  void attempt(const pktio::FlowAddress& flow, const ControlMessage& msg,
+               std::uint32_t attempt_no);
+
   sim::EventQueue& queue_;
   sim::NodeClock& clock_;
   net::Vf& vf_;
   pktio::Mempool& pool_;
+  ControlRetryConfig retry_;
+  std::uint32_t next_seq_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t send_failures_ = 0;
+  telemetry::CounterHandle tm_sent_;
+  telemetry::CounterHandle tm_retries_;
+  telemetry::CounterHandle tm_failures_;
 };
 
 }  // namespace choir::app

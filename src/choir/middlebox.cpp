@@ -39,6 +39,10 @@ Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
     tm_tx_ring_retries_ = telemetry::counter(base + "tx_ring_retries");
     tm_replayed_packets_ = telemetry::counter(base + "replayed_packets");
     tm_replayed_bursts_ = telemetry::counter(base + "replayed_bursts");
+    tm_control_duplicates_ = telemetry::counter(base + "control_duplicates");
+    tm_replay_resyncs_ = telemetry::counter(base + "replay_resyncs");
+    tm_recordings_truncated_ =
+        telemetry::counter(base + "recordings_truncated");
     tm_forward_latency_ = telemetry::histogram(base + "forward_latency_ns");
     tm_pacing_error_ = telemetry::histogram(base + "pacing_error_ns");
     tm_track_ = telemetry::track(middlebox_label(config_));
@@ -48,7 +52,10 @@ Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
 void Middlebox::start() { loop_.start(); }
 
 void Middlebox::start_record() {
-  if (!recording_active_) record_started_at_ = queue_.now();
+  if (!recording_active_) {
+    record_started_at_ = queue_.now();
+    overflow_at_record_start_ = stats_.record_overflow;
+  }
   recording_active_ = true;
 }
 
@@ -58,6 +65,16 @@ void Middlebox::stop_record() {
       tracer->span("record", record_started_at_, queue_.now(), tm_track_);
     }
     record_started_at_ = -1;
+    // Truncated-recording finalization: the recording stays usable for
+    // replay even when the RAM bound cut it short; the truncation itself
+    // is surfaced, not hidden inside the overflow packet count.
+    if (stats_.record_overflow > overflow_at_record_start_) {
+      ++stats_.recordings_truncated;
+      tm_recordings_truncated_.add();
+      if (auto* tracer = telemetry::tracer()) {
+        tracer->instant("recording-truncated", queue_.now(), tm_track_);
+      }
+    }
   }
   recording_active_ = false;
 }
@@ -145,6 +162,17 @@ bool Middlebox::on_poll() {
 }
 
 void Middlebox::handle_control(const ControlMessage& msg) {
+  if (msg.sequenced) {
+    // Redundant retransmissions of an executed command are dropped, and
+    // a late straggler cannot undo a newer command. Unsequenced frames
+    // bypass this entirely.
+    if (msg.seq <= last_ctl_seq_) {
+      ++stats_.control_duplicates;
+      tm_control_duplicates_.add();
+      return;
+    }
+    last_ctl_seq_ = msg.seq;
+  }
   switch (msg.op) {
     case Op::kStartRecord:
       start_record();
@@ -192,6 +220,22 @@ void Middlebox::replay_step() {
   const RecordedBurst& burst = recording_.bursts()[replay_cursor_];
   const std::uint64_t target_tsc = burst.tsc + replay_tsc_delta_;
   Ns t = clock_.tsc.time_of_ticks(target_tsc);
+
+  // Resynchronize after a stall: when the loop fell far enough behind
+  // (NIC stall window, long ring-full spin), shift the pacing anchor to
+  // now so the remaining bursts keep their recorded spacing instead of
+  // blasting out back-to-back.
+  const Ns behind = queue_.now() - t;
+  if (config_.replay_resync_threshold_ns > 0 &&
+      behind > config_.replay_resync_threshold_ns) {
+    replay_tsc_delta_ += clock_.tsc.ns_to_ticks(behind);
+    t += behind;
+    ++stats_.replay_resyncs;
+    tm_replay_resyncs_.add();
+    if (auto* tracer = telemetry::tracer()) {
+      tracer->instant("replay-resync", queue_.now(), tm_track_);
+    }
+  }
   // Everything added below (check-loop granularity, slips, a busy
   // previous burst) is pacing error: actual TX minus this scheduled TX.
   replay_target_ns_ = t;

@@ -36,6 +36,9 @@ struct MiddleboxStats {
   std::uint64_t breakpoint_hits = 0;
   std::uint64_t forward_drops = 0;    ///< tx ring full while forwarding
   std::uint64_t tx_ring_retries = 0;  ///< replay spins on a full tx ring
+  std::uint64_t control_duplicates = 0;  ///< sequenced commands deduped
+  std::uint64_t replay_resyncs = 0;   ///< pacing re-anchored after a stall
+  std::uint64_t recordings_truncated = 0;  ///< finalized with overflow
 };
 
 class Middlebox {
@@ -60,6 +63,11 @@ class Middlebox {
   const Recording& recording() const { return recording_; }
   const MiddleboxStats& stats() const { return stats_; }
   const ChoirConfig& config() const { return config_; }
+
+  /// The middlebox's port devices, exposed so a fault injector can hook
+  /// them as named NIC injection points.
+  pktio::EthDev& in_dev() { return in_dev_; }
+  pktio::EthDev& out_dev() { return out_dev_; }
 
   /// Debugging primitive built on rolling recording: when `predicate`
   /// matches a forwarded frame, recording freezes right after that frame
@@ -90,6 +98,8 @@ class Middlebox {
   Recording recording_;
   bool recording_active_ = false;
   std::uint64_t next_tag_seq_ = 0;
+  std::uint32_t last_ctl_seq_ = 0;  ///< highest executed sequenced command
+  std::uint64_t overflow_at_record_start_ = 0;
   std::function<bool(const pktio::Frame&)> breakpoint_;
 
   // Replay state machine (chained events, one per burst).
@@ -110,6 +120,9 @@ class Middlebox {
   telemetry::CounterHandle tm_tx_ring_retries_;
   telemetry::CounterHandle tm_replayed_packets_;
   telemetry::CounterHandle tm_replayed_bursts_;
+  telemetry::CounterHandle tm_control_duplicates_;
+  telemetry::CounterHandle tm_replay_resyncs_;
+  telemetry::CounterHandle tm_recordings_truncated_;
   telemetry::HistogramHandle tm_forward_latency_;
   telemetry::HistogramHandle tm_pacing_error_;
   std::uint32_t tm_track_ = 0;

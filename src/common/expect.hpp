@@ -17,6 +17,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Malformed external input: a truncated or corrupt trace/pcap file, an
+/// unparsable fault plan. Distinct from Error (API misuse / broken
+/// invariants) so callers that load untrusted files can recover from
+/// bad data without masking genuine bugs.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* cond, const char* file, int line,
                               const std::string& msg) {

@@ -1,0 +1,114 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+
+namespace choir::fault {
+
+namespace {
+
+constexpr Ns kHorizon = seconds(30);  ///< covers any shipped experiment
+
+double clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+FaultEvent whole_run(FaultKind kind, double probability) {
+  FaultEvent e;
+  e.kind = kind;
+  e.target = "*";
+  e.start = 0;
+  e.duration = kHorizon;
+  e.probability = clamp01(probability);
+  return e;
+}
+
+}  // namespace
+
+FaultPlan chaos_link_plan(double intensity) {
+  CHOIR_EXPECT(intensity >= 0.0, "chaos intensity must be non-negative");
+  FaultPlan plan;
+  if (intensity <= 0.0) return plan;
+
+  plan.add(whole_run(FaultKind::kLinkDrop, 0.02 * intensity));
+  plan.add(whole_run(FaultKind::kLinkCorrupt, 0.01 * intensity));
+  {
+    FaultEvent dup = whole_run(FaultKind::kLinkDuplicate, 0.005 * intensity);
+    dup.delay = microseconds(5);
+    plan.add(dup);
+  }
+  {
+    FaultEvent reorder = whole_run(FaultKind::kLinkReorder, 0.01 * intensity);
+    reorder.delay = microseconds(20);
+    plan.add(reorder);
+  }
+  return plan;
+}
+
+FaultPlan chaos_nic_plan(double intensity) {
+  CHOIR_EXPECT(intensity >= 0.0, "chaos intensity must be non-negative");
+  FaultPlan plan;
+  if (intensity <= 0.0) return plan;
+
+  // Periodic stall windows peppered across the horizon: every 7 ms an
+  // RX stall, every 11 ms a TX stall (coprime periods so the two never
+  // phase-lock), each lasting up to 300 us at full intensity.
+  const Ns stall = static_cast<Ns>(microseconds(300) * clamp01(intensity));
+  if (stall > 0) {
+    for (Ns start = milliseconds(5); start < kHorizon;
+         start += milliseconds(7)) {
+      FaultEvent e;
+      e.kind = FaultKind::kNicRxStall;
+      e.start = start;
+      e.duration = stall;
+      plan.add(e);
+    }
+    for (Ns start = milliseconds(9); start < kHorizon;
+         start += milliseconds(11)) {
+      FaultEvent e;
+      e.kind = FaultKind::kNicTxStall;
+      e.start = start;
+      e.duration = stall;
+      plan.add(e);
+    }
+  }
+
+  FaultEvent trunc = whole_run(FaultKind::kNicBurstTruncate, 1.0);
+  trunc.burst_cap = static_cast<std::uint16_t>(
+      std::max(1.0, 8.0 - 6.0 * clamp01(intensity)));
+  plan.add(trunc);
+  return plan;
+}
+
+FaultPlan chaos_mem_plan(double intensity) {
+  CHOIR_EXPECT(intensity >= 0.0, "chaos intensity must be non-negative");
+  FaultPlan plan;
+  if (intensity <= 0.0) return plan;
+
+  // Short exhaustion windows inside the canonical recording phase
+  // (generation starts at t = 10 ms; the first window sits just inside
+  // it so even the shortest trials hit one): all runs replay the same
+  // slightly thinner recording, so this stresses degradation, not kappa.
+  const Ns window = static_cast<Ns>(microseconds(200) * clamp01(intensity));
+  if (window == 0) return plan;
+  for (Ns start = milliseconds(10) + microseconds(200);
+       start < milliseconds(60); start += milliseconds(13)) {
+    FaultEvent e;
+    e.kind = FaultKind::kMemPressure;
+    e.start = start;
+    e.duration = window;
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultPlan chaos_plan(double intensity) {
+  FaultPlan plan = chaos_link_plan(intensity);
+  const FaultPlan nic = chaos_nic_plan(intensity);
+  const FaultPlan mem = chaos_mem_plan(intensity);
+  for (const FaultEvent& e : nic.events()) plan.add(e);
+  for (const FaultEvent& e : mem.events()) plan.add(e);
+  return plan;
+}
+
+}  // namespace choir::fault

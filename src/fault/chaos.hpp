@@ -1,0 +1,32 @@
+// Shipped chaos plans: intensity-scaled fault schedules for studying
+// replay consistency (kappa) under testbed adversity.
+//
+// `intensity` in [0, 1] scales every per-frame fault probability and
+// every stall-window width; 0 is the empty plan (a faulted run reduces
+// to the quiet run bit for bit). The schedules pepper the whole
+// timeline, so they apply regardless of an experiment's packet count —
+// faults that land during the recording phase shape the recording
+// identically for every replay, while faults landing during replays
+// differ run to run and are what erodes kappa.
+#pragma once
+
+#include "fault/fault_plan.hpp"
+
+namespace choir::fault {
+
+/// Link-layer chaos on every attached link: i.i.d. drops, FCS
+/// corruption, duplication, and reorder-bursts.
+FaultPlan chaos_link_plan(double intensity);
+
+/// NIC-layer chaos on every attached port: periodic RX/TX stall windows
+/// plus burst truncation.
+FaultPlan chaos_nic_plan(double intensity);
+
+/// Memory pressure windows on every attached pool during the recording
+/// phase (the first ~100 ms of the canonical experiment timeline).
+FaultPlan chaos_mem_plan(double intensity);
+
+/// The full shipped chaos schedule: link + NIC + memory combined.
+FaultPlan chaos_plan(double intensity);
+
+}  // namespace choir::fault

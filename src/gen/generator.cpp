@@ -71,7 +71,11 @@ void PoissonGenerator::start() {
 void PoissonGenerator::emit_next(Ns at) {
   queue_.schedule_at(std::max(queue_.now(), at), [this, at] {
     pktio::Mbuf* m = make_frame(pool_, config_, config_.frame_bytes, emitted_);
-    if (m != nullptr) vf_.tx_paced(m, at);
+    if (m != nullptr) {
+      vf_.tx_paced(m, at);
+    } else {
+      ++alloc_failures_;
+    }
     if (++emitted_ < config_.count) {
       emit_next(at + std::max<Ns>(1, static_cast<Ns>(
                                          rng_.exponential(mean_gap_ns_))));
@@ -105,7 +109,11 @@ void ImixGenerator::emit_next(Ns at) {
   queue_.schedule_at(std::max(queue_.now(), at), [this, at] {
     const std::uint32_t size = pick_size();
     pktio::Mbuf* m = make_frame(pool_, config_, size, emitted_);
-    if (m != nullptr) vf_.tx_paced(m, at);
+    if (m != nullptr) {
+      vf_.tx_paced(m, at);
+    } else {
+      ++alloc_failures_;
+    }
     ++emitted_;
     if (emitted_ < config_.count) {
       // Keep the configured bit rate: the gap budget is this frame's

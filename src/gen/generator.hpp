@@ -71,6 +71,9 @@ class PoissonGenerator {
 
   void start();
   std::uint64_t emitted() const { return emitted_; }
+  /// Arrivals lost to pool exhaustion (the slot advances regardless, as
+  /// a real generator's schedule would).
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
 
  private:
   void emit_next(Ns at);
@@ -82,6 +85,7 @@ class PoissonGenerator {
   Rng rng_;
   double mean_gap_ns_;
   std::uint64_t emitted_ = 0;
+  std::uint64_t alloc_failures_ = 0;
 };
 
 /// Simple IMIX: 7:4:1 mix of 64/576/1500-byte frames at the configured
@@ -93,6 +97,8 @@ class ImixGenerator {
 
   void start();
   std::uint64_t emitted() const { return emitted_; }
+  /// Arrivals lost to pool exhaustion.
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
 
  private:
   void emit_next(Ns at);
@@ -104,6 +110,7 @@ class ImixGenerator {
   StreamConfig config_;
   Rng rng_;
   std::uint64_t emitted_ = 0;
+  std::uint64_t alloc_failures_ = 0;
 };
 
 /// Shared helper: allocate and address one frame. Returns nullptr on pool

@@ -16,6 +16,22 @@ class Endpoint {
   virtual void deliver(pktio::Mbuf* pkt, Ns wire_time) = 0;
 };
 
+class Link;
+
+/// Fault-injection hook a link consults for every frame entering the
+/// wire (src/fault installs these; no hook means zero overhead beyond
+/// one null check). The hook may consume the frame (drop/corrupt-path),
+/// mutate it, stretch its flight time, or inject extra deliveries
+/// through Link::deliver_at (duplication).
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+  /// Return false to consume the frame (the link releases it); on true,
+  /// delivery is scheduled `extra_delay` ns after the nominal arrival.
+  virtual bool on_transmit(Link& link, pktio::Mbuf* pkt, Ns wire_departure,
+                           Ns& extra_delay) = 0;
+};
+
 /// Unidirectional link. The transmit side (TxPort) calls send() at the
 /// instant the last bit leaves the wire; propagation delay is added here.
 class Link {
@@ -32,12 +48,29 @@ class Link {
       pktio::Mempool::release(pkt);
       return;
     }
-    Endpoint* sink = sink_;
-    queue_.schedule_at(wire_departure + config_.propagation,
-                       [sink, pkt, t = wire_departure + config_.propagation] {
-                         sink->deliver(pkt, t);
-                       });
+    Ns extra_delay = 0;
+    if (fault_ != nullptr &&
+        !fault_->on_transmit(*this, pkt, wire_departure, extra_delay)) {
+      pktio::Mempool::release(pkt);
+      return;
+    }
+    deliver_at(pkt, wire_departure + config_.propagation + extra_delay);
   }
+
+  /// Schedule a raw delivery at absolute time `at` (>= now). The fault
+  /// layer uses this to land duplicated frames; normal traffic goes
+  /// through send().
+  void deliver_at(pktio::Mbuf* pkt, Ns at) {
+    if (sink_ == nullptr) {
+      pktio::Mempool::release(pkt);
+      return;
+    }
+    Endpoint* sink = sink_;
+    queue_.schedule_at(at, [sink, pkt, at] { sink->deliver(pkt, at); });
+  }
+
+  /// Install (or clear, with nullptr) the fault hook.
+  void set_fault(LinkFaultHook* hook) { fault_ = hook; }
 
   const LinkConfig& config() const { return config_; }
 
@@ -45,6 +78,7 @@ class Link {
   sim::EventQueue& queue_;
   LinkConfig config_;
   Endpoint* sink_ = nullptr;
+  LinkFaultHook* fault_ = nullptr;
 };
 
 }  // namespace choir::net

@@ -81,10 +81,16 @@ Ns PtpMaster::stamped_now() {
 void PtpMaster::send(const pktio::FlowAddress& flow,
                      const PtpMessage& message) {
   pktio::Mbuf* m = pool_.alloc();
-  if (m == nullptr) return;
+  if (m == nullptr) {
+    ++send_failures_;
+    return;
+  }
   encode_ptp(m->frame, flow, message);
   pktio::Mbuf* one[1] = {m};
-  if (vf_.backend_tx(one, 1) != 1) pktio::Mempool::release(m);
+  if (vf_.backend_tx(one, 1) != 1) {
+    pktio::Mempool::release(m);
+    ++send_failures_;
+  }
 }
 
 void PtpMaster::start() {
@@ -142,10 +148,16 @@ Ns PtpSlave::stamped_now() {
 
 void PtpSlave::send(const PtpMessage& message) {
   pktio::Mbuf* m = pool_.alloc();
-  if (m == nullptr) return;
+  if (m == nullptr) {
+    ++send_failures_;
+    return;
+  }
   encode_ptp(m->frame, flow_, message);
   pktio::Mbuf* one[1] = {m};
-  if (vf_.backend_tx(one, 1) != 1) pktio::Mempool::release(m);
+  if (vf_.backend_tx(one, 1) != 1) {
+    pktio::Mempool::release(m);
+    ++send_failures_;
+  }
 }
 
 void PtpSlave::start() { loop_.start(); }

@@ -76,6 +76,10 @@ class PtpMaster {
 
   std::uint64_t syncs_sent() const { return syncs_; }
   std::uint64_t delay_reqs_answered() const { return delay_resps_; }
+  /// Messages lost to pool exhaustion or a rejected tx. PTP degrades
+  /// gracefully on loss — the slave simply waits for the next cycle — so
+  /// these drops are counted, never fatal.
+  std::uint64_t send_failures() const { return send_failures_; }
 
  private:
   void emit_sync();
@@ -94,6 +98,7 @@ class PtpMaster {
   std::uint16_t sequence_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t delay_resps_ = 0;
+  std::uint64_t send_failures_ = 0;
 };
 
 /// Slave: consumes SYNC/FOLLOW_UP, issues DELAY_REQ, and disciplines its
@@ -121,6 +126,9 @@ class PtpSlave {
     return exchanges_ > 0 ? abs_offset_sum_ / static_cast<double>(exchanges_)
                           : 0.0;
   }
+  /// DELAY_REQs lost to pool exhaustion or a rejected tx (the exchange
+  /// is abandoned; the servo coasts until the next SYNC).
+  std::uint64_t send_failures() const { return send_failures_; }
 
  private:
   bool poll();
@@ -146,6 +154,7 @@ class PtpSlave {
   double last_offset_ = 0.0;
   double last_delay_ = 0.0;
   double abs_offset_sum_ = 0.0;
+  std::uint64_t send_failures_ = 0;
 };
 
 }  // namespace choir::net

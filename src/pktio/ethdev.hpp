@@ -8,6 +8,7 @@
 // layer be tested without the network simulator.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -30,6 +31,18 @@ class PortBackend {
 
   /// Produce up to n received buffers.
   virtual std::uint16_t backend_rx(Mbuf** pkts, std::uint16_t n) = 0;
+};
+
+/// Fault-injection hook for a port (src/fault installs these). Each
+/// burst's size is passed through the hook before reaching the backend:
+/// returning 0 models a stalled queue (RX: frames stay in the ring and
+/// back up; TX: the caller sees total rejection, exactly as with a hung
+/// DMA engine), returning less than `n` truncates the burst.
+class PortFaultHook {
+ public:
+  virtual ~PortFaultHook() = default;
+  virtual std::uint16_t clamp_rx(std::uint16_t n) = 0;
+  virtual std::uint16_t clamp_tx(std::uint16_t n) = 0;
 };
 
 struct EthDevStats {
@@ -58,6 +71,10 @@ class EthDev {
 
   /// Receive a burst; fills pkts[0..ret) and updates stats.
   std::uint16_t rx_burst(Mbuf** pkts, std::uint16_t n) {
+    if (fault_ != nullptr) {
+      n = std::min(n, fault_->clamp_rx(n));
+      if (n == 0) return 0;
+    }
     const std::uint16_t got = backend_->backend_rx(pkts, n);
     for (std::uint16_t i = 0; i < got; ++i) {
       ++stats_.ipackets;
@@ -76,7 +93,10 @@ class EthDev {
   /// Transmit a burst; returns how many buffers the device accepted.
   /// Ownership of accepted buffers passes to the device.
   std::uint16_t tx_burst(Mbuf* const* pkts, std::uint16_t n) {
-    const std::uint16_t sent = backend_->backend_tx(pkts, n);
+    std::uint16_t offered = n;
+    if (fault_ != nullptr) offered = std::min(n, fault_->clamp_tx(n));
+    const std::uint16_t sent =
+        offered > 0 ? backend_->backend_tx(pkts, offered) : 0;
     for (std::uint16_t i = 0; i < sent; ++i) {
       ++stats_.opackets;
       stats_.obytes += pkts[i]->frame.wire_len;
@@ -100,9 +120,13 @@ class EthDev {
   const EthDevStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
+  /// Install (or clear, with nullptr) the fault hook.
+  void set_fault(PortFaultHook* hook) { fault_ = hook; }
+
  private:
   std::string name_;
   PortBackend* backend_;
+  PortFaultHook* fault_ = nullptr;
   EthDevStats stats_;
   telemetry::CounterHandle tm_rx_packets_;
   telemetry::CounterHandle tm_rx_bytes_;

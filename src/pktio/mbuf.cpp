@@ -16,6 +16,11 @@ Mempool::Mempool(std::size_t capacity) {
 }
 
 Mbuf* Mempool::alloc() {
+  if (fault_ != nullptr && fault_->deny_alloc()) {
+    ++alloc_failures_;
+    ++denied_allocs_;
+    return nullptr;
+  }
   if (free_.empty()) {
     ++alloc_failures_;
     return nullptr;

@@ -18,6 +18,16 @@ namespace choir::pktio {
 
 class Mempool;
 
+/// Fault-injection hook for a pool (src/fault installs these): denied
+/// allocations fail exactly like real exhaustion — callers see nullptr
+/// and alloc_failures() advances — so every degradation path downstream
+/// of a full pool can be exercised on demand.
+class MempoolFaultHook {
+ public:
+  virtual ~MempoolFaultHook() = default;
+  virtual bool deny_alloc() = 0;
+};
+
 struct Mbuf {
   Frame frame;
   Ns rx_timestamp = 0;     ///< set by the NIC on receive
@@ -49,6 +59,11 @@ class Mempool {
   std::size_t available() const { return free_.size(); }
   std::size_t in_use() const { return capacity() - available(); }
   std::uint64_t alloc_failures() const { return alloc_failures_; }
+  /// Failures forced by the fault hook (a subset of alloc_failures()).
+  std::uint64_t denied_allocs() const { return denied_allocs_; }
+
+  /// Install (or clear, with nullptr) the fault hook.
+  void set_fault(MempoolFaultHook* hook) { fault_ = hook; }
 
  private:
   friend struct Mbuf;
@@ -57,6 +72,8 @@ class Mempool {
   std::vector<Mbuf> storage_;
   std::vector<std::uint32_t> free_;
   std::uint64_t alloc_failures_ = 0;
+  std::uint64_t denied_allocs_ = 0;
+  MempoolFaultHook* fault_ = nullptr;
 };
 
 }  // namespace choir::pktio

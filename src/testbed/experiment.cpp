@@ -9,6 +9,7 @@
 #include "choir/controller.hpp"
 #include "choir/middlebox.hpp"
 #include "common/expect.hpp"
+#include "fault/injector.hpp"
 #include "gen/generator.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
@@ -166,6 +167,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // ---- Switch ----------------------------------------------------------
   net::Switch sw(queue, env.switch_config, root.split(0x5357));
 
+  // Declared before the topology (constructed after it): duplicated
+  // frames live in the injector's private pool, and components may still
+  // hold them when they are torn down, so the injector must die last.
+  std::unique_ptr<fault::FaultInjector> injector;
+
   // ---- Recorder --------------------------------------------------------
   // NIC configs are copied to stamp telemetry labels; the labels carry no
   // timing information.
@@ -237,6 +243,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     p.ctl_pool = std::make_unique<pktio::Mempool>(64);
     p.controller = std::make_unique<app::Controller>(queue, gen_clock,
                                                      *p.ctl_vf, *p.ctl_pool);
+    p.controller->set_retry(env.control_retry);
 
     p.gen_pool = std::make_unique<pktio::Mempool>(per_stream + 8192);
     gen::StreamConfig stream;
@@ -298,6 +305,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         queue, *client_vf, *noise_pool,
         flow_between(kNoiseClient, kNoiseSink, 5201, 5201), env.noise,
         root.split(0x4e4f49));
+  }
+
+  // ---- Fault injection -------------------------------------------------
+  // Constructed last (and only when the preset carries a plan) so that
+  // fault-free runs never consume root RNG state and stay bit-identical
+  // to the pre-fault-layer baselines.
+  if (!env.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(queue, env.faults,
+                                                      root.split(0x4641));
+    for (int i = 0; i < env.replayers; ++i) {
+      ReplayPath& p = paths[static_cast<std::size_t>(i)];
+      const std::string idx = std::to_string(i);
+      injector->attach_link("link.gen" + idx, *p.gen_to_switch);
+      injector->attach_link("link.repl" + idx + "-out",
+                            *p.repl_out_to_switch);
+      injector->attach_port("nic.repl" + idx + "-in", p.middlebox->in_dev());
+      injector->attach_port("nic.repl" + idx + "-out",
+                            p.middlebox->out_dev());
+      injector->attach_pool("pool.gen" + idx, *p.gen_pool);
+      injector->attach_pool("pool.ctl" + idx, *p.ctl_pool);
+    }
+    injector->attach_link("link.to-recorder", sw.egress_link(rec_port_in));
   }
 
   // ---- Timeline --------------------------------------------------------
@@ -401,6 +430,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.recorded_packets += p.middlebox->recording().packet_count();
     result.replay_tx_drops += p.repl_out_phys->tx_port().drops();
     result.middlebox_stats.push_back(p.middlebox->stats());
+    result.control_retries += p.controller->retries();
+    result.control_send_failures += p.controller->send_failures();
+    result.generator_alloc_failures += p.generator->alloc_failures();
+  }
+  if (injector != nullptr) {
+    result.fault_stats = injector->stats();
+    // Unhook while every component is still alive; the injector object
+    // itself (owning the duplicate pool) outlives the topology.
+    injector->detach_all();
   }
   result.recorder_rx_drops = rec_phys.rx_drops();
   result.recorder_imissed = rec_vf.imissed();

@@ -11,6 +11,7 @@
 
 #include "choir/middlebox.hpp"
 #include "core/metrics.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/tracer.hpp"
 #include "testbed/presets.hpp"
@@ -74,6 +75,12 @@ struct ExperimentResult {
   std::uint64_t switch_queue_drops = 0;
   std::uint64_t replay_tx_drops = 0;     ///< replayer egress tail drops
   Ns trial_duration = 0;                 ///< nominal stream duration
+
+  // Adversity accounting (all zero unless the preset carries faults).
+  fault::FaultStats fault_stats;           ///< injected-fault totals
+  std::uint64_t control_retries = 0;       ///< redundant control sends
+  std::uint64_t control_send_failures = 0; ///< locally failed attempts
+  std::uint64_t generator_alloc_failures = 0;  ///< frames lost at the gen
 
   // Telemetry artifacts; populated iff config.telemetry.enabled.
   std::shared_ptr<telemetry::Registry> telemetry_registry;

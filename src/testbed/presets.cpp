@@ -1,6 +1,9 @@
 #include "testbed/presets.hpp"
 
 #include <cmath>
+#include <cstdio>
+
+#include "fault/chaos.hpp"
 
 namespace choir::testbed {
 
@@ -196,6 +199,23 @@ EnvironmentPreset fabric_shared_40_noisy() {
   env.recorder_nic.rx_buffer_pkts = 9216;
   env.noise.burst = 12;  // kernel GSO bursts, frequent enough to touch
                          // most inter-packet gaps
+  return env;
+}
+
+EnvironmentPreset chaos_single(double intensity) {
+  EnvironmentPreset env = local_single();
+  char name[32];
+  std::snprintf(name, sizeof(name), "chaos-%.2f", intensity);
+  env.name = name;
+  env.faults = fault::chaos_plan(intensity);
+  // Robustness knobs on: redundant sequenced control commands survive
+  // lossy windows, and replays re-anchor their pacing after long stalls
+  // instead of blasting the backlog back-to-back.
+  env.control_retry.max_attempts = 4;
+  env.control_retry.initial_backoff = microseconds(100);
+  env.control_retry.multiplier = 2.0;
+  env.control_retry.timeout = milliseconds(4);
+  env.choir.replay_resync_threshold_ns = milliseconds(1);
   return env;
 }
 

@@ -27,6 +27,8 @@
 #include <string>
 
 #include "choir/config.hpp"
+#include "choir/controller.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/config.hpp"
 #include "net/noise.hpp"
 #include "sim/ptp.hpp"
@@ -66,6 +68,15 @@ struct EnvironmentPreset {
   /// shared-NIC noisy runs; dedicated NICs isolate the experiment).
   bool noise_shares_path = false;
   net::NoiseConfig noise;
+
+  // Adversity (empty/disabled in every Table 2 environment, so those
+  // presets remain bit-identical to the seed baselines).
+  /// Deterministic fault schedule, injected at named points of the
+  /// experiment topology (see docs/FAULTS.md for the point names).
+  fault::FaultPlan faults;
+  /// Control-channel robustness; the default (single attempt) matches
+  /// the original fire-and-forget behaviour.
+  app::ControlRetryConfig control_retry;
 };
 
 // The nine Table 2 environments, in presentation order.
@@ -81,5 +92,11 @@ EnvironmentPreset fabric_shared_40_noisy();
 
 /// All nine, in Table 2 order.
 std::vector<EnvironmentPreset> all_presets();
+
+/// Chaos environment: local-single plus the shipped fault schedule at
+/// the given intensity (see src/fault/chaos.hpp), with the robustness
+/// knobs — control retry and replay resynchronization — switched on.
+/// Intensity 0 still enables the knobs but injects no faults.
+EnvironmentPreset chaos_single(double intensity);
 
 }  // namespace choir::testbed

@@ -22,6 +22,16 @@ T get(std::ifstream& in) {
   in.read(reinterpret_cast<char*>(&value), sizeof(value));
   return value;
 }
+
+/// Loader-side validation: malformed input is a FormatError the caller
+/// can recover from, never an invariant failure and never a wild read.
+void check_format(bool ok, const std::string& what) {
+  if (!ok) throw FormatError(what);
+}
+
+/// Frames above this are not representable on any link the simulator
+/// models; a larger wire_len in a file is corruption, not jumbo frames.
+constexpr std::uint32_t kMaxPlausibleWireLen = 1u << 24;
 }  // namespace
 
 void write_trace(const Capture& capture, const std::string& path) {
@@ -46,14 +56,18 @@ void write_trace(const Capture& capture, const std::string& path) {
 
 Capture read_trace(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  CHOIR_EXPECT(in.good(), "cannot open trace file: " + path);
+  check_format(in.good(), "cannot open trace file: " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  CHOIR_EXPECT(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+  check_format(in.good() && std::memcmp(magic, kMagic, 8) == 0,
                "bad trace magic: " + path);
   const auto version = get<std::uint32_t>(in);
-  CHOIR_EXPECT(version == kTraceVersion, "unsupported trace version");
+  check_format(in.good(), "truncated trace header: " + path);
+  check_format(version == kTraceVersion,
+               "unsupported trace version " + std::to_string(version) + ": " +
+                   path);
   const auto count = get<std::uint64_t>(in);
+  check_format(in.good(), "truncated trace header: " + path);
   // Validate the declared count against the actual file size before
   // trusting it for an allocation — a corrupted header must not drive an
   // unbounded reserve.
@@ -63,7 +77,7 @@ Capture read_trace(const std::string& path) {
   in.seekg(header_end);
   constexpr std::uint64_t kRecordBytes =
       8 + 4 + 2 + 1 + pktio::kMaxHeaderBytes + pktio::kTrailerBytes + 8;
-  CHOIR_EXPECT(count <= static_cast<std::uint64_t>(file_end - header_end) /
+  check_format(count <= static_cast<std::uint64_t>(file_end - header_end) /
                             kRecordBytes,
                "trace record count exceeds file size: " + path);
 
@@ -75,12 +89,22 @@ Capture read_trace(const std::string& path) {
     r.wire_len = get<std::uint32_t>(in);
     r.header_len = get<std::uint16_t>(in);
     r.has_trailer = get<std::uint8_t>(in) != 0;
+    // The header/trailer arrays are fixed-size, so reads below cannot
+    // overrun; the declared lengths still have to be sane before any
+    // consumer indexes with them.
+    check_format(r.header_len <= pktio::kMaxHeaderBytes,
+                 "trace record " + std::to_string(i) +
+                     " header_len exceeds maximum: " + path);
+    check_format(r.wire_len <= kMaxPlausibleWireLen &&
+                     r.wire_len >= r.header_len,
+                 "trace record " + std::to_string(i) +
+                     " has implausible wire_len: " + path);
     in.read(reinterpret_cast<char*>(r.header.data()),
             static_cast<std::streamsize>(r.header.size()));
     in.read(reinterpret_cast<char*>(r.trailer.data()),
             static_cast<std::streamsize>(r.trailer.size()));
     r.payload_token = get<std::uint64_t>(in);
-    CHOIR_EXPECT(in.good(), "truncated trace file: " + path);
+    check_format(in.good(), "truncated trace file: " + path);
     capture.append(r);
   }
   return capture;

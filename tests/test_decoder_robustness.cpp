@@ -96,6 +96,16 @@ struct FileFuzz : ::testing::Test {
       out.write(&b, 1);
     }
   }
+
+  void write_bytes(const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  template <typename T>
+  static void append(std::string& bytes, T value) {
+    bytes.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
 };
 
 TEST_F(FileFuzz, TraceReaderThrowsNeverCrashes) {
@@ -110,6 +120,143 @@ TEST_F(FileFuzz, PcapReaderThrowsNeverCrashes) {
     write_random(16 + seed * 13, seed);
     EXPECT_THROW(trace::read_pcap(path), Error) << "seed " << seed;
   }
+}
+
+TEST_F(FileFuzz, TraceReaderThrowsTypedFormatError) {
+  // Malformed external input is a recoverable FormatError, never the
+  // generic Error that CHOIR_EXPECT raises for API misuse.
+  write_bytes("NOTATRCF");
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+
+  // Valid magic, truncated before the version field.
+  write_bytes("CHOIRTRC");
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+
+  // Unsupported version.
+  std::string bad_version = "CHOIRTRC";
+  append<std::uint32_t>(bad_version, 0xdeadbeef);
+  append<std::uint64_t>(bad_version, 0);
+  write_bytes(bad_version);
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+
+  // Record count far beyond what the file can hold: must be rejected
+  // before any allocation is sized from it.
+  std::string huge_count = "CHOIRTRC";
+  append<std::uint32_t>(huge_count, trace::kTraceVersion);
+  append<std::uint64_t>(huge_count, ~0ULL);
+  write_bytes(huge_count);
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+
+  EXPECT_THROW(trace::read_trace(path + ".does-not-exist"), FormatError);
+}
+
+TEST_F(FileFuzz, TraceReaderRejectsImplausibleRecordFields) {
+  // A structurally valid file whose record declares header_len beyond
+  // the fixed header array: typed rejection, no overread.
+  trace::Capture cap("fields");
+  pktio::Frame frame;
+  frame.wire_len = 300;
+  frame.header_len = pktio::kEthIpv4UdpLen;
+  cap.append(trace::CaptureRecord::from_frame(frame, 1));
+  trace::write_trace(cap, path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  // Record layout after the 20-byte file header: i64 timestamp,
+  // u32 wire_len, u16 header_len.
+  const std::size_t header_len_off = 20 + 8 + 4;
+  bytes[header_len_off] = '\xff';
+  bytes[header_len_off + 1] = '\xff';
+  write_bytes(bytes);
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+
+  // wire_len smaller than header_len is likewise implausible.
+  trace::write_trace(cap, path);
+  std::ifstream in2(path, std::ios::binary);
+  std::string bytes2((std::istreambuf_iterator<char>(in2)), {});
+  in2.close();
+  const std::size_t wire_len_off = 20 + 8;
+  bytes2[wire_len_off] = 0;
+  bytes2[wire_len_off + 1] = 0;
+  bytes2[wire_len_off + 2] = 0;
+  bytes2[wire_len_off + 3] = 0;
+  write_bytes(bytes2);
+  EXPECT_THROW(trace::read_trace(path), FormatError);
+}
+
+TEST_F(FileFuzz, PcapReaderThrowsTypedFormatError) {
+  // Wrong magic.
+  std::string bad_magic;
+  append<std::uint32_t>(bad_magic, 0x12345678u);
+  write_bytes(bad_magic);
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+
+  // Truncated global header after a valid magic.
+  std::string truncated;
+  append<std::uint32_t>(truncated, 0xa1b23c4du);
+  append<std::uint16_t>(truncated, 2);
+  write_bytes(truncated);
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+
+  auto global_header = [](std::uint32_t snaplen, std::uint32_t linktype) {
+    std::string bytes;
+    append<std::uint32_t>(bytes, 0xa1b23c4du);
+    append<std::uint16_t>(bytes, 2);
+    append<std::uint16_t>(bytes, 4);
+    append<std::int32_t>(bytes, 0);
+    append<std::uint32_t>(bytes, 0);
+    append<std::uint32_t>(bytes, snaplen);
+    append<std::uint32_t>(bytes, linktype);
+    return bytes;
+  };
+
+  // Unsupported linktype and implausible snaplen.
+  write_bytes(global_header(2048, 101));
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+  write_bytes(global_header(0, 1));
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+
+  // Record claiming more captured bytes than the snaplen allows.
+  std::string bad_record = global_header(128, 1);
+  append<std::uint32_t>(bad_record, 0);    // sec
+  append<std::uint32_t>(bad_record, 0);    // frac
+  append<std::uint32_t>(bad_record, 256);  // incl > snaplen
+  append<std::uint32_t>(bad_record, 256);  // orig
+  write_bytes(bad_record);
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+
+  // Record header promising more packet bytes than the file holds.
+  std::string short_packet = global_header(2048, 1);
+  append<std::uint32_t>(short_packet, 0);
+  append<std::uint32_t>(short_packet, 0);
+  append<std::uint32_t>(short_packet, 64);
+  append<std::uint32_t>(short_packet, 64);
+  short_packet.append(10, '\0');  // only 10 of the promised 64 bytes
+  write_bytes(short_packet);
+  EXPECT_THROW(trace::read_pcap(path), FormatError);
+
+  EXPECT_THROW(trace::read_pcap(path + ".does-not-exist"), FormatError);
+}
+
+TEST_F(FileFuzz, TruncatedValidTraceRejectedAtEveryPrefix) {
+  // Chop a valid two-record trace at every length: each prefix must be
+  // rejected with a typed FormatError (or load fully at full length).
+  trace::Capture cap("prefix");
+  pktio::Frame frame;
+  frame.wire_len = 400;
+  cap.append(trace::CaptureRecord::from_frame(frame, 10));
+  cap.append(trace::CaptureRecord::from_frame(frame, 20));
+  trace::write_trace(cap, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    write_bytes(bytes.substr(0, n));
+    EXPECT_THROW(trace::read_trace(path), FormatError) << "prefix " << n;
+  }
+  write_bytes(bytes);
+  EXPECT_EQ(trace::read_trace(path).size(), 2u);
 }
 
 TEST_F(FileFuzz, CorruptedValidTraceRejectedOrSane) {

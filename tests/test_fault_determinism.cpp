@@ -1,0 +1,97 @@
+// Determinism regression for the fault layer: the same seed plus the
+// same FaultPlan must reproduce a faulted experiment bit for bit —
+// identical trial results AND identical telemetry counters across two
+// runs — and fault-free runs must be unaffected by the layer existing.
+#include <gtest/gtest.h>
+
+#include "testbed/experiment.hpp"
+
+namespace choir::testbed {
+namespace {
+
+ExperimentConfig chaos_config(double intensity, bool telemetry) {
+  ExperimentConfig cfg;
+  cfg.env = chaos_single(intensity);
+  cfg.packets = 4000;
+  cfg.runs = 3;
+  cfg.seed = 11;
+  cfg.telemetry.enabled = telemetry;
+  return cfg;
+}
+
+void expect_bit_identical(const ExperimentResult& a,
+                          const ExperimentResult& b) {
+  EXPECT_EQ(a.recorded_packets, b.recorded_packets);
+  EXPECT_EQ(a.capture_sizes, b.capture_sizes);
+  ASSERT_EQ(a.comparisons.size(), b.comparisons.size());
+  for (std::size_t i = 0; i < a.comparisons.size(); ++i) {
+    const auto& ma = a.comparisons[i].metrics;
+    const auto& mb = b.comparisons[i].metrics;
+    // Exact double equality is the point: any hidden nondeterminism
+    // (attachment order, wall-clock, unseeded RNG) shows up here.
+    EXPECT_EQ(ma.uniqueness, mb.uniqueness) << "comparison " << i;
+    EXPECT_EQ(ma.ordering, mb.ordering) << "comparison " << i;
+    EXPECT_EQ(ma.latency, mb.latency) << "comparison " << i;
+    EXPECT_EQ(ma.iat, mb.iat) << "comparison " << i;
+    EXPECT_EQ(ma.kappa, mb.kappa) << "comparison " << i;
+  }
+
+  EXPECT_EQ(a.fault_stats.link_down_drops, b.fault_stats.link_down_drops);
+  EXPECT_EQ(a.fault_stats.frames_dropped, b.fault_stats.frames_dropped);
+  EXPECT_EQ(a.fault_stats.frames_corrupted, b.fault_stats.frames_corrupted);
+  EXPECT_EQ(a.fault_stats.frames_duplicated,
+            b.fault_stats.frames_duplicated);
+  EXPECT_EQ(a.fault_stats.frames_reordered, b.fault_stats.frames_reordered);
+  EXPECT_EQ(a.fault_stats.rx_stalled_polls, b.fault_stats.rx_stalled_polls);
+  EXPECT_EQ(a.fault_stats.tx_stalled_bursts,
+            b.fault_stats.tx_stalled_bursts);
+  EXPECT_EQ(a.fault_stats.bursts_truncated, b.fault_stats.bursts_truncated);
+  EXPECT_EQ(a.fault_stats.allocs_denied, b.fault_stats.allocs_denied);
+  EXPECT_EQ(a.control_retries, b.control_retries);
+  EXPECT_EQ(a.control_send_failures, b.control_send_failures);
+  EXPECT_EQ(a.generator_alloc_failures, b.generator_alloc_failures);
+}
+
+TEST(FaultDeterminism, SameSeedSamePlanBitIdenticalIncludingTelemetry) {
+  const auto first = run_experiment(chaos_config(0.6, true));
+  const auto second = run_experiment(chaos_config(0.6, true));
+  expect_bit_identical(first, second);
+
+  // The injected faults actually fired (this is not a vacuous check).
+  EXPECT_GT(first.fault_stats.total(), 0u);
+
+  // Every telemetry counter — fault.* included — matches exactly.
+  ASSERT_NE(first.telemetry_registry, nullptr);
+  ASSERT_NE(second.telemetry_registry, nullptr);
+  const auto snap_a = first.telemetry_registry->snapshot(0);
+  const auto snap_b = second.telemetry_registry->snapshot(0);
+  ASSERT_EQ(snap_a.counters.size(), snap_b.counters.size());
+  for (std::size_t i = 0; i < snap_a.counters.size(); ++i) {
+    EXPECT_EQ(snap_a.counters[i].first, snap_b.counters[i].first);
+    EXPECT_EQ(snap_a.counters[i].second, snap_b.counters[i].second)
+        << snap_a.counters[i].first;
+  }
+  bool saw_fault_counter = false;
+  for (const auto& [name, value] : snap_a.counters) {
+    if (name.rfind("fault.", 0) == 0 && value > 0) saw_fault_counter = true;
+  }
+  EXPECT_TRUE(saw_fault_counter);
+}
+
+TEST(FaultDeterminism, FaultedRunIdenticalWithTelemetryOnOrOff) {
+  // The fault layer preserves the telemetry zero-perturbation guarantee.
+  const auto on = run_experiment(chaos_config(0.6, true));
+  const auto off = run_experiment(chaos_config(0.6, false));
+  expect_bit_identical(on, off);
+}
+
+TEST(FaultDeterminism, IntensityZeroInjectsNothing) {
+  const auto result = run_experiment(chaos_config(0.0, false));
+  EXPECT_EQ(result.fault_stats.total(), 0u);
+  EXPECT_EQ(result.generator_alloc_failures, 0u);
+  // Every run captured traffic and compared cleanly.
+  for (const std::size_t size : result.capture_sizes) EXPECT_GT(size, 0u);
+}
+
+}  // namespace
+}  // namespace choir::testbed
