@@ -217,6 +217,7 @@ void Middlebox::begin_replay(Ns true_start, std::uint64_t tsc_delta) {
 }
 
 void Middlebox::replay_step() {
+  telemetry::ProfileSpan prof("replay.pace");
   const RecordedBurst& burst = recording_.bursts()[replay_cursor_];
   const std::uint64_t target_tsc = burst.tsc + replay_tsc_delta_;
   Ns t = clock_.tsc.time_of_ticks(target_tsc);
@@ -260,6 +261,7 @@ void Middlebox::replay_step() {
 }
 
 void Middlebox::emit_burst_from(std::size_t offset) {
+  telemetry::ProfileSpan prof("replay.emit");
   const RecordedBurst& b = recording_.bursts()[replay_cursor_];
   if (offset == 0) {
     const Ns pacing_error = queue_.now() - replay_target_ns_;

@@ -6,6 +6,7 @@
 
 #include "common/expect.hpp"
 #include "core/lis.hpp"
+#include "telemetry/span_profiler.hpp"
 
 namespace choir::core {
 
@@ -44,6 +45,7 @@ double off_lcs_displacement(const std::vector<std::uint32_t>& sequence,
 }  // namespace
 
 Alignment align_trials(const Trial& a, const Trial& b) {
+  telemetry::ProfileSpan prof("kappa.align");
   Alignment out;
   out.size_a = a.size();
   out.size_b = b.size();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.hpp"
+#include "telemetry/span_profiler.hpp"
 
 namespace choir::core {
 
@@ -25,8 +26,9 @@ double ComparisonResult::fraction_iat_within(double threshold_ns) const {
 
 ComparisonResult compare_trials(const Trial& a, const Trial& b,
                                 const ComparisonOptions& options) {
+  telemetry::ProfileSpan prof("kappa.compare");
   ComparisonResult out;
-  const Alignment alignment = align_trials(a, b);
+  Alignment alignment = align_trials(a, b);
 
   out.size_a = alignment.size_a;
   out.size_b = alignment.size_b;
@@ -96,6 +98,7 @@ ComparisonResult compare_trials(const Trial& a, const Trial& b,
 
   out.metrics.kappa = kappa_of(out.metrics.uniqueness, out.metrics.ordering,
                                out.metrics.latency, out.metrics.iat);
+  if (options.collect_alignment) out.alignment = std::move(alignment);
   return out;
 }
 

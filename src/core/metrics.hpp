@@ -37,11 +37,16 @@ struct ComparisonOptions {
   /// Collect the per-packet delta series (needed for figures; costs one
   /// vector entry per common packet).
   bool collect_series = false;
+  /// Keep the full alignment (matches, moves, LCS membership) in the
+  /// result. Needed by consumers that attribute divergence to individual
+  /// packets (the streaming monitor); costs the alignment's storage.
+  bool collect_alignment = false;
 };
 
 struct ComparisonResult {
   ConsistencyMetrics metrics;
   ComparisonSeries series;  ///< populated iff options.collect_series
+  Alignment alignment;      ///< populated iff options.collect_alignment
 
   // Occupancy counts, useful for reporting drops.
   std::size_t size_a = 0;

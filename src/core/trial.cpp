@@ -11,10 +11,7 @@ std::size_t Trial::make_occurrences_unique() {
   for (auto& p : packets_) {
     const std::uint64_t occurrence = counts[p.id]++;
     if (occurrence > 0) {
-      // Fold the occurrence number into the identity. The mix constant
-      // keeps derived ids disjoint from natural trailer values.
-      p.id.hi ^= occurrence * 0xd6e8feb86659fd93ULL;
-      p.id.lo ^= occurrence;
+      p.id = occurrence_id(p.id, occurrence);
       ++rewritten;
     }
   }

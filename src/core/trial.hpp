@@ -24,6 +24,19 @@ struct PacketId {
   friend bool operator==(const PacketId&, const PacketId&) = default;
 };
 
+/// Identity of the k-th occurrence of a repeated id (occurrence 0 is the
+/// id itself). The mix constant keeps derived ids disjoint from natural
+/// trailer values. Shared by Trial::make_occurrences_unique and the
+/// streaming monitor so an incrementally observed stream builds the exact
+/// same trial a batch capture does.
+constexpr PacketId occurrence_id(PacketId id, std::uint64_t occurrence) {
+  if (occurrence > 0) {
+    id.hi ^= occurrence * 0xd6e8feb86659fd93ULL;
+    id.lo ^= occurrence;
+  }
+  return id;
+}
+
 struct PacketIdHash {
   std::size_t operator()(const PacketId& id) const noexcept {
     // xor-fold with a multiplicative mix; ids are already well spread.

@@ -1,0 +1,44 @@
+// Exports of the streaming monitor's outputs: the per-packet divergence
+// attribution stream as JSON Lines, the per-window metric table as CSV,
+// and human-readable tables for the CLI.
+//
+// Both file formats are byte-deterministic for a deterministic run: keys
+// are emitted in a fixed order, doubles with %.17g (round-trippable and
+// stable for identical values), and records in monitor emission order.
+// The determinism regression test diffs two monitored runs byte for
+// byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "monitor/stream_monitor.hpp"
+
+namespace choir::monitor {
+
+/// One JSON object per attributed packet:
+/// {"stream":"run-1","window":3,"kind":"moved","id_hi":"0x..",
+///  "id_lo":"0x..","index_a":N,"index_b":N,"move":N,
+///  "latency_delta_ns":X,"t_ns":N}
+/// index_a / index_b are -1 when not applicable (extra / missing).
+void write_divergence_jsonl(const StreamMonitor& monitor, std::ostream& out);
+void write_divergence_jsonl(const StreamMonitor& monitor,
+                            const std::string& path);
+
+/// Per-window rows:
+/// stream,window,b_begin,b_end,a_begin,a_end,common,moved,missing,extra,
+/// lcs,U,O,L,I,kappa,kappa_running
+void write_windows_csv(const StreamMonitor& monitor, std::ostream& out);
+void write_windows_csv(const StreamMonitor& monitor, const std::string& path);
+
+/// Fixed-width per-window table for terminal output.
+std::string render_window_table(const StreamMonitor& monitor);
+
+/// Per-stream summary lines (exact Eq. 5 metrics per monitored stream).
+std::string render_stream_summary(const StreamMonitor& monitor);
+
+/// The most divergent packets, up to `limit` lines.
+std::string render_top_divergence(const StreamMonitor& monitor,
+                                  std::size_t limit);
+
+}  // namespace choir::monitor

@@ -1,0 +1,128 @@
+// Open-addressing hash table specialized for the monitor's per-packet
+// hot path: packet id -> reference position, fused with the per-stream
+// occurrence counter used for duplicate tagging.
+//
+// A node-based unordered_map costs ~2 dependent cache misses per lookup;
+// at millions of packets per second that dominates the whole monitor.
+// This table stores flat slots probed linearly, so the common case — a
+// unique packet that appears in the reference — is one probe: the same
+// slot yields the reference index *and* the occurrence count, where the
+// naive design needed two separate map operations.
+//
+// Occurrence counters are reset per stream in O(1) by bumping an epoch
+// stamp instead of clearing the table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "core/trial.hpp"
+
+namespace choir::monitor {
+
+class IdTable {
+ public:
+  static constexpr std::uint32_t kNoRef = 0xFFFFFFFFu;
+
+  struct Hit {
+    std::uint32_t ref_index = kNoRef;  ///< position in the reference trial
+    std::uint64_t occurrence = 0;      ///< 0-based occurrence of the raw id
+  };
+
+  /// Rebuild the table over a (already occurrence-tagged) reference
+  /// trial. Existing stream-side entries are discarded.
+  void rebuild(const core::Trial& reference) {
+    std::size_t capacity = 64;
+    while (capacity < 2 * (reference.size() + 1)) capacity <<= 1;
+    slots_.assign(capacity, Slot{});
+    used_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    size_ = 0;
+    epoch_ = 1;
+    for (std::uint32_t j = 0; j < reference.size(); ++j) {
+      Slot& slot = insert_slot(reference[j].id);
+      slot.ref_index = j;
+    }
+  }
+
+  /// Bump the stream epoch: every occurrence counter reads as zero again.
+  void new_stream() { ++epoch_; }
+
+  /// The hot path: look up `raw`, inserting a counting slot when absent,
+  /// and claim its next occurrence number. One linear probe in the
+  /// common (unique, in-reference) case.
+  Hit observe(core::PacketId raw) {
+    Slot& slot = insert_slot(raw);
+    if (slot.epoch != epoch_) {
+      slot.epoch = epoch_;
+      slot.count = 0;
+    }
+    return Hit{slot.ref_index, slot.count++};
+  }
+
+  /// Read-only lookup (used for occurrence-tagged duplicate ids).
+  std::uint32_t ref_index_of(core::PacketId id) const {
+    if (slots_.empty()) return kNoRef;
+    std::size_t i = hash_of(id) & mask_;
+    while (used_[i]) {
+      if (slots_[i].id == id) return slots_[i].ref_index;
+      i = (i + 1) & mask_;
+    }
+    return kNoRef;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    core::PacketId id{};
+    std::uint32_t ref_index = kNoRef;
+    std::uint32_t epoch = 0;
+    std::uint64_t count = 0;
+  };
+
+  static std::size_t hash_of(core::PacketId id) {
+    std::uint64_t x = id.hi * 0x9e3779b97f4a7c15ULL ^ id.lo;
+    x ^= x >> 32;
+    x *= 0xd6e8feb86659fd93ULL;
+    x ^= x >> 29;
+    return static_cast<std::size_t>(x);
+  }
+
+  Slot& insert_slot(core::PacketId id) {
+    if (slots_.empty() || 2 * (size_ + 1) > slots_.size()) grow();
+    std::size_t i = hash_of(id) & mask_;
+    while (used_[i]) {
+      if (slots_[i].id == id) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].id = id;
+    ++size_;
+    return slots_[i];
+  }
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(capacity, Slot{});
+    used_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      Slot& slot = insert_slot(old_slots[i].id);
+      slot = old_slots[i];
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace choir::monitor

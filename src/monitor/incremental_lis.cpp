@@ -1,0 +1,17 @@
+#include "monitor/incremental_lis.hpp"
+
+#include <algorithm>
+
+namespace choir::monitor {
+
+void IncrementalLis::append(std::uint32_t value) {
+  auto it = std::lower_bound(tails_.begin(), tails_.end(), value);
+  if (it == tails_.end()) {
+    tails_.push_back(value);
+  } else {
+    *it = value;
+  }
+  ++appended_;
+}
+
+}  // namespace choir::monitor

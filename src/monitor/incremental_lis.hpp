@@ -1,0 +1,39 @@
+// Incremental longest-increasing-subsequence length.
+//
+// The offline metric (core/lis.hpp) takes the whole sequence at once;
+// the streaming monitor sees trial B one packet at a time and wants the
+// LCS length *so far* after every arrival. Patience sorting is already
+// incremental — appending one value is a single binary search over the
+// pile tops — so this structure just keeps the tails array alive between
+// appends: O(log n) per packet, O(n) memory, and `length()` at any point
+// equals `core::lis_length` of the values appended so far.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace choir::monitor {
+
+class IncrementalLis {
+ public:
+  /// Append the next value; O(log n). Strictly increasing, matching
+  /// core::longest_increasing_subsequence.
+  void append(std::uint32_t value);
+
+  /// LIS length of everything appended so far.
+  std::size_t length() const { return tails_.size(); }
+
+  /// Number of values appended.
+  std::size_t size() const { return appended_; }
+
+  void clear() {
+    tails_.clear();
+    appended_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> tails_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace choir::monitor

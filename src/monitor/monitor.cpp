@@ -1,0 +1,17 @@
+#include "monitor/monitor.hpp"
+
+namespace choir::monitor {
+
+namespace {
+StreamMonitor* g_monitor = nullptr;
+}  // namespace
+
+StreamMonitor* current() { return g_monitor; }
+
+ScopedMonitor::ScopedMonitor(StreamMonitor* monitor) : prev_(g_monitor) {
+  g_monitor = monitor;
+}
+
+ScopedMonitor::~ScopedMonitor() { g_monitor = prev_; }
+
+}  // namespace choir::monitor

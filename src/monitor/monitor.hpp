@@ -1,0 +1,41 @@
+// Umbrella header and session management for the streaming monitor.
+//
+// Mirrors the telemetry pattern (telemetry/telemetry.hpp): whoever owns
+// an experiment installs a monitor session before constructing the
+// pipeline, and feeding components (the capture daemon) bind the current
+// monitor pointer at construction. With no session installed the bound
+// pointer is null and the entire feed path is a single predictable
+// branch per packet — the monitor must be affordable to leave compiled
+// into the recorder.
+//
+//   monitor::StreamMonitor mon(config);
+//   monitor::ScopedMonitor session(&mon);
+//   ... construct the topology; the recorder binds the feed now ...
+//   ... run ...
+//   mon.finalize();
+#pragma once
+
+#include "monitor/divergence.hpp"
+#include "monitor/stream_monitor.hpp"
+
+namespace choir::monitor {
+
+/// RAII installer of the process-wide current monitor. Sessions nest;
+/// destruction restores the previous monitor.
+class ScopedMonitor {
+ public:
+  explicit ScopedMonitor(StreamMonitor* monitor);
+  ~ScopedMonitor();
+  ScopedMonitor(const ScopedMonitor&) = delete;
+  ScopedMonitor& operator=(const ScopedMonitor&) = delete;
+
+ private:
+  StreamMonitor* prev_;
+};
+
+/// The monitor installed by the innermost live ScopedMonitor, or nullptr
+/// when monitoring is disabled. Components bind this once at
+/// construction, not per packet.
+StreamMonitor* current();
+
+}  // namespace choir::monitor

@@ -1,0 +1,539 @@
+#include "monitor/stream_monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/expect.hpp"
+#include "telemetry/span_profiler.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace choir::monitor {
+
+const char* to_string(DivergenceRecord::Kind kind) {
+  switch (kind) {
+    case DivergenceRecord::Kind::kMoved:
+      return "moved";
+    case DivergenceRecord::Kind::kMissing:
+      return "missing";
+    case DivergenceRecord::Kind::kExtra:
+      return "extra";
+    case DivergenceRecord::Kind::kLatency:
+      return "latency";
+  }
+  return "?";
+}
+
+StreamMonitor::StreamMonitor(MonitorConfig config)
+    : config_(config),
+      tm_observed_(telemetry::counter("monitor.observed")),
+      tm_matched_(telemetry::counter("monitor.matched")),
+      tm_windows_(telemetry::counter("monitor.windows")),
+      tm_streams_(telemetry::counter("monitor.streams")),
+      tm_window_kappa_ppm_(telemetry::gauge("monitor.window_kappa_ppm")),
+      tm_running_kappa_ppm_(telemetry::gauge("monitor.running_kappa_ppm")),
+      tm_track_(telemetry::track("monitor")) {
+  CHOIR_EXPECT(config_.window_packets > 0, "window_packets must be > 0");
+  if (config_.async) {
+    std::size_t capacity = 64;
+    while (capacity < config_.ring_capacity) capacity <<= 1;
+    ring_.resize(capacity);
+    ring_mask_ = capacity - 1;
+    worker_ = std::thread([this] { worker_main(); });
+  }
+}
+
+StreamMonitor::~StreamMonitor() { stop_worker(); }
+
+// ---- Async pipeline ---------------------------------------------------
+
+void StreamMonitor::enqueue(const Item& item) {
+  const std::uint64_t tail = ring_tail_.load(std::memory_order_relaxed);
+  // Backpressure: block only when the worker trails by a whole ring.
+  while (tail - ring_head_.load(std::memory_order_acquire) >= ring_.size()) {
+    std::this_thread::yield();
+  }
+  ring_[tail & ring_mask_] = item;
+  ring_tail_.store(tail + 1, std::memory_order_release);
+  if (worker_idle_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_.notify_one();
+  }
+}
+
+void StreamMonitor::worker_main() {
+  std::uint64_t head = ring_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (head == ring_tail_.load(std::memory_order_acquire)) {
+      if (worker_stop_.load(std::memory_order_acquire)) {
+        // Re-check after the stop flag: the feeder publishes every item
+        // before raising it, so an empty ring here is final.
+        if (head == ring_tail_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      // Short spin for the common keep-up case, then sleep.
+      bool got = false;
+      for (int spin = 0; spin < 1024; ++spin) {
+        if (head != ring_tail_.load(std::memory_order_acquire)) {
+          got = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (!got) {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        worker_idle_.store(true, std::memory_order_relaxed);
+        wake_.wait_for(lock, std::chrono::microseconds(200), [&] {
+          return head != ring_tail_.load(std::memory_order_acquire) ||
+                 worker_stop_.load(std::memory_order_acquire);
+        });
+        worker_idle_.store(false, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    const Item item = ring_[head & ring_mask_];
+    ring_head_.store(++head, std::memory_order_release);
+    if (item.kind == kItemObserve) {
+      do_observe(item.id, item.time);
+    } else {
+      std::string name;
+      {
+        std::lock_guard<std::mutex> lock(names_mutex_);
+        name = stream_names_[item.name_index];
+      }
+      do_begin_stream(name);
+    }
+  }
+}
+
+void StreamMonitor::stop_worker() {
+  if (!worker_.joinable()) return;
+  worker_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_.notify_one();
+  }
+  worker_.join();
+  worker_stop_.store(false, std::memory_order_release);
+}
+
+void StreamMonitor::begin_stream(const std::string& name) {
+  if (!config_.async) {
+    do_begin_stream(name);
+    return;
+  }
+  Item item;
+  item.kind = kItemBegin;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    stream_names_.push_back(name);
+    item.name_index = static_cast<std::uint32_t>(stream_names_.size() - 1);
+  }
+  if (!worker_.joinable()) worker_ = std::thread([this] { worker_main(); });
+  enqueue(item);
+}
+
+void StreamMonitor::observe(core::PacketId raw_id, Ns timestamp) {
+  if (!config_.async) {
+    do_observe(raw_id, timestamp);
+    return;
+  }
+  Item item;
+  item.id = raw_id;
+  item.time = timestamp;
+  item.kind = kItemObserve;
+  enqueue(item);
+}
+
+void StreamMonitor::finalize() {
+  if (config_.async) {
+    stop_worker();  // drains the ring, then joins
+    close_stream();
+    flush_telemetry();
+    return;
+  }
+  close_stream();
+}
+
+void StreamMonitor::flush_telemetry() {
+  // One-shot flush on the finalizing thread: async workers never touch
+  // the (unsynchronized) telemetry instruments live.
+  tm_observed_.add(observed_);
+  tm_matched_.add(matched_total_);
+  tm_windows_.add(windows_.size());
+  tm_streams_.add(streams_.size());
+  if (!windows_.empty()) {
+    tm_window_kappa_ppm_.set(
+        static_cast<std::int64_t>(windows_.back().metrics.kappa * 1e6));
+    tm_running_kappa_ppm_.set(
+        static_cast<std::int64_t>(windows_.back().kappa_running * 1e6));
+  }
+  if (auto* tracer = telemetry::tracer()) {
+    for (const WindowRecord& window : windows_) {
+      char args[160];
+      std::snprintf(args, sizeof(args),
+                    "{\"stream\":\"%s\",\"window\":%llu,\"kappa\":%.9f,"
+                    "\"moved\":%zu,\"missing\":%zu,\"extra\":%zu}",
+                    window.stream_name.c_str(),
+                    static_cast<unsigned long long>(window.index),
+                    window.metrics.kappa, window.moved, window.missing,
+                    window.extra);
+      tracer->instant("monitor-window", window.last_time_ns, tm_track_, args);
+    }
+  }
+}
+
+// ---- Pipeline (worker thread in async mode) ---------------------------
+
+void StreamMonitor::install_reference(core::Trial reference) {
+  reference.make_occurrences_unique();
+  if (!reference.empty()) {
+    const Ns t0 = reference.first_time();
+    std::vector<core::TrialPacket> rebased(reference.packets());
+    for (auto& p : rebased) p.time -= t0;
+    reference = core::Trial(std::move(rebased));
+  }
+  id_table_.rebuild(reference);
+  fenwick_.assign(reference.size() + 1, 0);
+  reference_ = std::move(reference);
+  reference_set_ = true;
+}
+
+void StreamMonitor::set_reference(core::Trial reference) {
+  CHOIR_EXPECT(!stream_open_, "cannot replace the reference mid-stream");
+  CHOIR_EXPECT(!config_.async || !worker_.joinable() || observed_ == 0,
+               "set_reference() must precede async feeding");
+  install_reference(std::move(reference));
+}
+
+void StreamMonitor::do_begin_stream(const std::string& name) {
+  close_stream();
+  stream_open_ = true;
+  stream_is_reference_ =
+      !reference_set_ && config_.reference_from_first_stream;
+  stream_name_ = name;
+  stream_packets_.clear();
+  id_table_.new_stream();
+  window_begin_ = 0;
+  window_index_ = 0;
+  stream_lis_.clear();
+  if (reference_set_) std::fill(fenwick_.begin(), fenwick_.end(), 0u);
+  stream_matched_ = 0;
+  running_abs_latency_ns_ = 0.0;
+  running_abs_iat_ns_ = 0.0;
+  running_footrule_ = 0.0;
+  running_ = RunningEstimate{};
+}
+
+void StreamMonitor::fenwick_add(std::size_t index_a) {
+  for (std::size_t i = index_a + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    ++fenwick_[i];
+  }
+}
+
+std::uint64_t StreamMonitor::fenwick_prefix(std::size_t index_a) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = index_a; i > 0; i -= i & (~i + 1)) sum += fenwick_[i];
+  return sum;
+}
+
+void StreamMonitor::do_observe(core::PacketId raw_id, Ns timestamp) {
+  CHOIR_EXPECT(stream_open_, "observe() requires an open stream");
+  const IdTable::Hit hit = id_table_.observe(raw_id);
+  const core::PacketId id =
+      hit.occurrence > 0 ? core::occurrence_id(raw_id, hit.occurrence)
+                         : raw_id;
+  const auto k = static_cast<std::uint32_t>(stream_packets_.size());
+  stream_packets_.push_back(core::TrialPacket{id, timestamp});
+  ++observed_;
+  if (!config_.async) tm_observed_.add();
+  if (stream_is_reference_) return;
+
+  // Match against the reference and fold the packet into the running
+  // accumulators — the same per-match quantities the offline Eqs. 3-4
+  // loop computes, built incrementally. The fused table answers the
+  // common case (unique id, present in the reference) with one probe;
+  // a repeated id re-probes under its occurrence-tagged identity.
+  const std::uint32_t j = hit.occurrence == 0
+                              ? hit.ref_index
+                              : id_table_.ref_index_of(id);
+  if (j != IdTable::kNoRef) {
+    ++stream_matched_;
+    ++matched_total_;
+    if (!config_.async) tm_matched_.add();
+    const double l_a = static_cast<double>(reference_[j].time);
+    const double l_b =
+        static_cast<double>(timestamp - stream_packets_.front().time);
+    const double g_a =
+        j == 0 ? 0.0
+               : static_cast<double>(reference_[j].time -
+                                     reference_[j - 1].time);
+    const double g_b =
+        k == 0 ? 0.0
+               : static_cast<double>(timestamp -
+                                     stream_packets_[k - 1].time);
+    running_abs_latency_ns_ += l_a >= l_b ? l_a - l_b : l_b - l_a;
+    running_abs_iat_ns_ += g_a >= g_b ? g_a - g_b : g_b - g_a;
+    // Insertion-rank footrule: rank among matched-so-far, by B arrival
+    // vs by reference position. An O(log n) running proxy for Eq. 2.
+    const auto rank_b = static_cast<double>(stream_matched_ - 1);
+    const auto rank_a = static_cast<double>(fenwick_prefix(j));
+    running_footrule_ += rank_a >= rank_b ? rank_a - rank_b : rank_b - rank_a;
+    fenwick_add(j);
+    stream_lis_.append(j);
+  }
+
+  if (stream_packets_.size() - window_begin_ >= config_.window_packets) {
+    close_window(false);
+  }
+}
+
+void StreamMonitor::update_running(Ns) {
+  RunningEstimate r;
+  const auto na = static_cast<double>(reference_.size());
+  const auto nb = static_cast<double>(stream_packets_.size());
+  const auto m = static_cast<double>(stream_matched_);
+  const double total = na + nb;
+  r.uniqueness = total > 0.0 ? 1.0 - 2.0 * m / total : 0.0;
+  const double o_denominator = m * (m + 1.0) / 2.0;
+  r.ordering = o_denominator > 0.0
+                   ? std::min(1.0, running_footrule_ / o_denominator)
+                   : 0.0;
+  if (stream_matched_ > 0 && !stream_packets_.empty()) {
+    const double a_last =
+        reference_.empty() ? 0.0 : static_cast<double>(reference_.last_time());
+    const double b_span = static_cast<double>(stream_packets_.back().time -
+                                              stream_packets_.front().time);
+    const double straddle = std::max(b_span, a_last);
+    const double l_denominator = m * straddle;
+    r.latency =
+        l_denominator > 0.0 ? running_abs_latency_ns_ / l_denominator : 0.0;
+    const double i_denominator = b_span + a_last;
+    r.iat = i_denominator > 0.0 ? running_abs_iat_ns_ / i_denominator : 0.0;
+  }
+  r.kappa = core::kappa_of(r.uniqueness, r.ordering, r.latency, r.iat);
+  r.lcs_length = stream_lis_.length();
+  running_ = r;
+}
+
+core::Trial StreamMonitor::slice_trial(
+    const std::vector<core::TrialPacket>& packets, std::size_t begin,
+    std::size_t end) const {
+  std::vector<core::TrialPacket> slice(packets.begin() + begin,
+                                       packets.begin() + end);
+  if (!slice.empty()) {
+    const Ns t0 = slice.front().time;
+    for (auto& p : slice) p.time -= t0;
+  }
+  return core::Trial(std::move(slice));
+}
+
+void StreamMonitor::close_window(bool) {
+  const std::size_t b_begin = window_begin_;
+  const std::size_t b_end = stream_packets_.size();
+  if (b_end == b_begin) return;
+  telemetry::ProfileSpan prof("monitor.window");
+
+  const std::size_t a_begin = std::min(b_begin, reference_.size());
+  const std::size_t a_end = std::min(b_end, reference_.size());
+  const core::Trial wa = slice_trial(reference_.packets(), a_begin, a_end);
+  const core::Trial wb = slice_trial(stream_packets_, b_begin, b_end);
+
+  core::ComparisonOptions options;
+  options.collect_series = true;
+  options.collect_alignment = config_.top_k > 0;
+  const core::ComparisonResult cmp = core::compare_trials(wa, wb, options);
+
+  WindowRecord window;
+  window.stream = stream_ordinal_;
+  window.stream_name = stream_name_;
+  window.index = window_index_;
+  window.b_begin = b_begin;
+  window.b_end = b_end;
+  window.a_begin = a_begin;
+  window.a_end = a_end;
+  window.first_time_ns = stream_packets_[b_begin].time;
+  window.last_time_ns = stream_packets_[b_end - 1].time;
+  window.metrics = cmp.metrics;
+  window.common = cmp.common;
+  window.moved = cmp.moved;
+  window.missing = cmp.size_a - cmp.common;
+  window.extra = cmp.size_b - cmp.common;
+  window.lcs_length = cmp.lcs_length;
+  update_running(window.last_time_ns);
+  window.kappa_running = running_.kappa;
+
+  if (config_.top_k > 0) attribute_window(cmp, window);
+
+  if (!config_.async) {
+    tm_windows_.add();
+    tm_window_kappa_ppm_.set(
+        static_cast<std::int64_t>(window.metrics.kappa * 1e6));
+    tm_running_kappa_ppm_.set(
+        static_cast<std::int64_t>(running_.kappa * 1e6));
+    if (auto* tracer = telemetry::tracer()) {
+      char args[160];
+      std::snprintf(args, sizeof(args),
+                    "{\"stream\":\"%s\",\"window\":%llu,\"kappa\":%.9f,"
+                    "\"moved\":%zu,\"missing\":%zu,\"extra\":%zu}",
+                    stream_name_.c_str(),
+                    static_cast<unsigned long long>(window_index_),
+                    window.metrics.kappa, window.moved, window.missing,
+                    window.extra);
+      tracer->instant("monitor-window", window.last_time_ns, tm_track_, args);
+    }
+  }
+
+  windows_.push_back(std::move(window));
+  window_begin_ = b_end;
+  ++window_index_;
+}
+
+void StreamMonitor::attribute_window(const core::ComparisonResult& cmp,
+                                     const WindowRecord& window) {
+  const core::Alignment& alignment = cmp.alignment;
+  const std::size_t b_size = window.b_end - window.b_begin;
+  const std::size_t a_size = window.a_end - window.a_begin;
+
+  // Per-local-position match lookup (window-local B index -> match slot).
+  std::vector<std::int32_t> match_of_b(b_size, -1);
+  std::vector<char> matched_a(a_size, 0);
+  for (std::size_t i = 0; i < alignment.matches.size(); ++i) {
+    match_of_b[alignment.matches[i].index_b] = static_cast<std::int32_t>(i);
+    matched_a[alignment.matches[i].index_a] = 1;
+  }
+
+  const auto emit = [&](DivergenceRecord record) {
+    record.stream = window.stream;
+    record.stream_name = window.stream_name;
+    record.window = window.index;
+    divergence_.push_back(std::move(record));
+  };
+
+  // Moved: largest |rank displacement| first; stable on B position.
+  std::vector<const core::Move*> moves;
+  moves.reserve(alignment.moves.size());
+  for (const core::Move& mv : alignment.moves) {
+    if (mv.displacement != 0) moves.push_back(&mv);
+  }
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const core::Move* x, const core::Move* y) {
+                     const auto ax = x->displacement < 0 ? -x->displacement
+                                                         : x->displacement;
+                     const auto ay = y->displacement < 0 ? -y->displacement
+                                                         : y->displacement;
+                     if (ax != ay) return ax > ay;
+                     return x->index_b < y->index_b;
+                   });
+  if (moves.size() > config_.top_k) moves.resize(config_.top_k);
+  for (const core::Move* mv : moves) {
+    DivergenceRecord r;
+    r.kind = DivergenceRecord::Kind::kMoved;
+    const std::size_t global_b = window.b_begin + mv->index_b;
+    r.id = stream_packets_[global_b].id;
+    r.index_a = static_cast<std::int64_t>(window.a_begin + mv->index_a);
+    r.index_b = static_cast<std::int64_t>(global_b);
+    r.move = mv->displacement;
+    const std::int32_t slot = match_of_b[mv->index_b];
+    if (slot >= 0) {
+      r.latency_delta_ns =
+          cmp.series.latency_delta_ns[static_cast<std::size_t>(slot)];
+    }
+    r.time_ns = stream_packets_[global_b].time;
+    emit(r);
+  }
+
+  // Latency straddle: matched packets with the largest |l_B - l_A|.
+  std::vector<std::uint32_t> by_latency;
+  by_latency.reserve(alignment.matches.size());
+  for (std::uint32_t i = 0; i < alignment.matches.size(); ++i) {
+    if (cmp.series.latency_delta_ns[i] != 0.0) by_latency.push_back(i);
+  }
+  std::stable_sort(by_latency.begin(), by_latency.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     const double ax = std::abs(cmp.series.latency_delta_ns[x]);
+                     const double ay = std::abs(cmp.series.latency_delta_ns[y]);
+                     if (ax != ay) return ax > ay;
+                     return alignment.matches[x].index_b <
+                            alignment.matches[y].index_b;
+                   });
+  if (by_latency.size() > config_.top_k) by_latency.resize(config_.top_k);
+  for (const std::uint32_t i : by_latency) {
+    const core::MatchedPacket& match = alignment.matches[i];
+    DivergenceRecord r;
+    r.kind = DivergenceRecord::Kind::kLatency;
+    const std::size_t global_b = window.b_begin + match.index_b;
+    r.id = stream_packets_[global_b].id;
+    r.index_a = static_cast<std::int64_t>(window.a_begin + match.index_a);
+    r.index_b = static_cast<std::int64_t>(global_b);
+    r.latency_delta_ns = cmp.series.latency_delta_ns[i];
+    r.time_ns = stream_packets_[global_b].time;
+    emit(r);
+  }
+
+  // Missing: in the paired reference slice but not in this window. A
+  // packet that merely drifted across a window boundary shows up as
+  // missing here and extra in a neighbor — that is the signal, not a
+  // bug (see docs/MONITOR.md).
+  std::size_t emitted = 0;
+  for (std::size_t j = 0; j < a_size && emitted < config_.top_k; ++j) {
+    if (matched_a[j]) continue;
+    DivergenceRecord r;
+    r.kind = DivergenceRecord::Kind::kMissing;
+    const std::size_t global_a = window.a_begin + j;
+    r.id = reference_[global_a].id;
+    r.index_a = static_cast<std::int64_t>(global_a);
+    r.time_ns = reference_[global_a].time;  // reference-relative time
+    emit(r);
+    ++emitted;
+  }
+
+  // Extra: in this window but not in the paired reference slice.
+  emitted = 0;
+  for (std::size_t k = 0; k < b_size && emitted < config_.top_k; ++k) {
+    if (match_of_b[k] >= 0) continue;
+    DivergenceRecord r;
+    r.kind = DivergenceRecord::Kind::kExtra;
+    const std::size_t global_b = window.b_begin + k;
+    r.id = stream_packets_[global_b].id;
+    r.index_b = static_cast<std::int64_t>(global_b);
+    r.time_ns = stream_packets_[global_b].time;
+    emit(r);
+    ++emitted;
+  }
+}
+
+void StreamMonitor::close_stream() {
+  if (!stream_open_) return;
+  stream_open_ = false;
+  if (stream_is_reference_) {
+    install_reference(core::Trial(std::move(stream_packets_)));
+    stream_packets_.clear();
+    return;
+  }
+  telemetry::ProfileSpan prof("monitor.finalize");
+  close_window(true);
+
+  // Exact finale: the whole stream against the whole reference, via the
+  // offline algorithm — what `compare_trials` on saved captures reports.
+  StreamResult result;
+  result.ordinal = stream_ordinal_;
+  result.name = stream_name_;
+  result.packets = stream_packets_.size();
+  result.windows = window_index_;
+  const core::Trial full =
+      slice_trial(stream_packets_, 0, stream_packets_.size());
+  const core::ComparisonResult cmp = core::compare_trials(reference_, full);
+  result.metrics = cmp.metrics;
+  result.common = cmp.common;
+  result.moved = cmp.moved;
+  result.missing = cmp.size_a - cmp.common;
+  result.extra = cmp.size_b - cmp.common;
+  streams_.push_back(std::move(result));
+  if (!config_.async) tm_streams_.add();
+  ++stream_ordinal_;
+  stream_packets_.clear();
+}
+
+}  // namespace choir::monitor

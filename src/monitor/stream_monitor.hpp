@@ -1,0 +1,269 @@
+// Streaming consistency monitor: live per-window κ against a reference.
+//
+// The paper's κ (Eqs. 1-5) grades two *finished* trials; by the time it
+// says a replay diverged, the trial is over and nothing can say when
+// during the run — or which packets — caused the drop. The monitor
+// consumes the trial-B packet stream incrementally (fed from the
+// recorder's drain path through the same null-check hook style as
+// telemetry) and turns κ into an observability signal:
+//
+//  - **Per-window metrics.** Every `window_packets` arrivals, the window
+//    of B is paired with the same index range of the reference trial A,
+//    both slices are rebased to their own first packet, and the exact
+//    Section 3 computation runs on the pair (O(w log w) via the LIS
+//    alignment). A window covering the full trial therefore reproduces
+//    the offline Eq. 5 result bit for bit.
+//  - **Running estimates.** U, L and I accumulate exactly across the
+//    stream; O is estimated from insertion-rank displacements (a Fenwick
+//    tree over reference positions), and the LCS length so far is
+//    maintained by an incremental LIS. These give a live κ estimate
+//    without re-scanning the stream.
+//  - **Divergence attribution.** Each window contributes its top-K
+//    packets by move distance and by latency straddle, plus missing and
+//    extra packets, to a per-packet record stream (divergence.hpp)
+//    exported as `divergence.jsonl`.
+//  - **Exact finale.** When a stream ends, the whole stream is compared
+//    against the reference with the offline algorithm, so the stream
+//    summary equals what `compare_trials` on the saved captures reports.
+//
+// The monitor is a pure observer: it draws no randomness, schedules
+// nothing, and a seeded run is bit-identical with the monitor on or off.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "core/trial.hpp"
+#include "monitor/id_table.hpp"
+#include "monitor/incremental_lis.hpp"
+#include "telemetry/metric.hpp"
+
+namespace choir::monitor {
+
+struct MonitorConfig {
+  /// Packets of trial B per window. Each window is compared as its own
+  /// mini-trial against the same index range of the reference.
+  std::size_t window_packets = 8192;
+  /// Attribution entries kept per window *per kind* (moved, latency,
+  /// missing, extra). 0 disables attribution.
+  std::size_t top_k = 16;
+  /// When set (the default), the first stream observed becomes the
+  /// reference trial A and emits no windows; every later stream is
+  /// monitored against it. Clear it when loading a reference explicitly
+  /// via set_reference().
+  bool reference_from_first_stream = true;
+  /// Run the matching/window pipeline on a dedicated worker thread.
+  /// observe() then costs one SPSC-ring enqueue (~10 ns) on the feeding
+  /// thread — the <2% perturbation budget of the record path — while the
+  /// κ computation proceeds concurrently. Outputs are identical to sync
+  /// mode (the worker consumes the exact same sequence); accessors are
+  /// only valid after finalize(). Telemetry counters/gauges and tracer
+  /// events are flushed at finalize() instead of live, so the sim
+  /// thread's instruments are never touched from the worker.
+  bool async = false;
+  /// Async ring capacity (entries, rounded up to a power of two). The
+  /// feeder blocks only when the worker trails by a full ring.
+  std::size_t ring_capacity = 1u << 16;
+};
+
+/// One closed window of a monitored stream.
+struct WindowRecord {
+  std::uint32_t stream = 0;     ///< monitored-stream ordinal (0-based)
+  std::string stream_name;
+  std::uint64_t index = 0;      ///< window ordinal within the stream
+  std::size_t b_begin = 0;      ///< B positions [b_begin, b_end)
+  std::size_t b_end = 0;
+  std::size_t a_begin = 0;      ///< paired reference slice [a_begin, a_end)
+  std::size_t a_end = 0;
+  Ns first_time_ns = 0;         ///< raw sim arrival time of first B packet
+  Ns last_time_ns = 0;          ///< raw sim arrival time of last B packet
+  core::ConsistencyMetrics metrics;  ///< exact Section 3 on the slice pair
+  std::size_t common = 0;
+  std::size_t moved = 0;
+  std::size_t missing = 0;      ///< in the A slice, absent from the window
+  std::size_t extra = 0;        ///< in the window, absent from the A slice
+  std::size_t lcs_length = 0;
+  /// Stream-cumulative κ estimate at window close (running U/L/I exact,
+  /// O estimated from insertion ranks — see RunningEstimate).
+  double kappa_running = 1.0;
+};
+
+/// Stream-cumulative estimate, updated per packet in O(log n).
+struct RunningEstimate {
+  double uniqueness = 0.0;  ///< exact so far
+  double ordering = 0.0;    ///< insertion-rank footrule estimate
+  double latency = 0.0;     ///< exact so far
+  double iat = 0.0;         ///< exact so far
+  double kappa = 1.0;
+  std::size_t lcs_length = 0;  ///< exact (incremental LIS)
+};
+
+/// Per-stream summary; metrics are the exact offline Eq. 5 values.
+struct StreamResult {
+  std::uint32_t ordinal = 0;
+  std::string name;
+  std::size_t packets = 0;
+  std::size_t windows = 0;
+  core::ConsistencyMetrics metrics;
+  std::size_t common = 0;
+  std::size_t moved = 0;
+  std::size_t missing = 0;
+  std::size_t extra = 0;
+};
+
+/// One attributed divergent packet (a `divergence.jsonl` line).
+struct DivergenceRecord {
+  enum class Kind : std::uint8_t { kMoved, kMissing, kExtra, kLatency };
+  Kind kind = Kind::kMoved;
+  std::uint32_t stream = 0;
+  std::string stream_name;
+  std::uint64_t window = 0;
+  core::PacketId id;
+  std::int64_t index_a = -1;      ///< global position in reference, -1 n/a
+  std::int64_t index_b = -1;      ///< global position in stream, -1 n/a
+  std::int64_t move = 0;          ///< signed rank displacement (moved only)
+  double latency_delta_ns = 0.0;  ///< l_B - l_A, window-local (matched only)
+  Ns time_ns = 0;  ///< raw sim arrival time (B side; A side for missing)
+};
+
+const char* to_string(DivergenceRecord::Kind kind);
+
+class StreamMonitor {
+ public:
+  explicit StreamMonitor(MonitorConfig config = {});
+  ~StreamMonitor();
+  StreamMonitor(const StreamMonitor&) = delete;
+  StreamMonitor& operator=(const StreamMonitor&) = delete;
+
+  /// Load the reference trial A explicitly (offline use). Timestamps are
+  /// rebased to the first packet and duplicate ids occurrence-tagged, so
+  /// any capture-order trial is accepted.
+  void set_reference(core::Trial reference);
+  bool has_reference() const { return reference_set_; }
+  const core::Trial& reference() const { return reference_; }
+
+  /// Start a new stream, closing the current one (tail window, exact
+  /// finale). The first stream becomes the reference when
+  /// `reference_from_first_stream` is set.
+  void begin_stream(const std::string& name);
+
+  /// Observe the next packet of the current stream: raw (pre-occurrence-
+  /// tagging) identity plus receiver timestamp, exactly what the capture
+  /// path records. O(log n) amortized; windows close inline.
+  void observe(core::PacketId raw_id, Ns timestamp);
+
+  /// Close the current stream. Idempotent; further observes require a
+  /// new begin_stream().
+  void finalize();
+
+  const MonitorConfig& config() const { return config_; }
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+  const std::vector<StreamResult>& streams() const { return streams_; }
+  const std::vector<DivergenceRecord>& divergence() const {
+    return divergence_;
+  }
+
+  /// Running estimate for the *current* (unfinished) stream.
+  const RunningEstimate& running() const { return running_; }
+
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t matched() const { return matched_total_; }
+
+ private:
+  // The do_* methods are the actual pipeline; in async mode they run on
+  // the worker thread, in sync mode directly on the caller.
+  void do_begin_stream(const std::string& name);
+  void do_observe(core::PacketId raw_id, Ns timestamp);
+  void close_window(bool stream_ending);
+  void close_stream();
+  void install_reference(core::Trial reference);
+  void update_running(Ns timestamp);
+  core::Trial slice_trial(const std::vector<core::TrialPacket>& packets,
+                          std::size_t begin, std::size_t end) const;
+  void attribute_window(const core::ComparisonResult& cmp,
+                        const WindowRecord& window);
+  /// Async mode defers all telemetry/tracer output to finalize() so the
+  /// worker never touches the sim thread's instruments.
+  void flush_telemetry();
+
+  // Async pipeline.
+  enum : std::uint32_t { kItemObserve = 0, kItemBegin = 1 };
+  struct Item {
+    core::PacketId id{};
+    Ns time = 0;
+    std::uint32_t kind = 0;        ///< kItemObserve | kItemBegin
+    std::uint32_t name_index = 0;  ///< into stream_names_ for kItemBegin
+  };
+  void enqueue(const Item& item);
+  void worker_main();
+  void stop_worker();
+
+  // Fenwick tree over reference positions, for insertion ranks.
+  void fenwick_add(std::size_t index_a);
+  std::uint64_t fenwick_prefix(std::size_t index_a) const;
+
+  MonitorConfig config_;
+
+  core::Trial reference_;
+  bool reference_set_ = false;
+  IdTable id_table_;  ///< fused id->ref-position + occurrence counting
+
+  // Current stream.
+  bool stream_open_ = false;
+  bool stream_is_reference_ = false;
+  std::uint32_t stream_ordinal_ = 0;  ///< next monitored-stream ordinal
+  std::string stream_name_;
+  std::vector<core::TrialPacket> stream_packets_;  ///< raw times, unique ids
+  std::size_t window_begin_ = 0;
+  std::uint64_t window_index_ = 0;
+
+  // Running accumulators (see RunningEstimate).
+  IncrementalLis stream_lis_;
+  std::vector<std::uint64_t> fenwick_;
+  std::size_t stream_matched_ = 0;
+  double running_abs_latency_ns_ = 0.0;
+  double running_abs_iat_ns_ = 0.0;
+  double running_footrule_ = 0.0;
+  Ns prev_b_time_ = 0;  ///< previous *matched* handling uses raw B stream
+  RunningEstimate running_;
+
+  // Outputs.
+  std::vector<WindowRecord> windows_;
+  std::vector<StreamResult> streams_;
+  std::vector<DivergenceRecord> divergence_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t matched_total_ = 0;
+
+  // Telemetry (null handles when no session is installed).
+  telemetry::CounterHandle tm_observed_;
+  telemetry::CounterHandle tm_matched_;
+  telemetry::CounterHandle tm_windows_;
+  telemetry::CounterHandle tm_streams_;
+  telemetry::GaugeHandle tm_window_kappa_ppm_;
+  telemetry::GaugeHandle tm_running_kappa_ppm_;
+  std::uint32_t tm_track_ = 0;
+
+  // Async worker state. The feeding thread touches only the ring, the
+  // name list and the wake flag; all monitor state above belongs to the
+  // worker while it runs.
+  std::vector<Item> ring_;
+  std::size_t ring_mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> ring_head_{0};  ///< consumer
+  alignas(64) std::atomic<std::uint64_t> ring_tail_{0};  ///< producer
+  std::atomic<bool> worker_stop_{false};
+  std::atomic<bool> worker_idle_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::vector<std::string> stream_names_;
+  std::mutex names_mutex_;
+  std::thread worker_;
+};
+
+}  // namespace choir::monitor

@@ -32,7 +32,7 @@ std::uint64_t LatencyHistogram::bucket_width(std::size_t i) {
 
 Ns LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
-  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double clamped = std::isnan(p) ? 0.0 : std::clamp(p, 0.0, 100.0);
   auto rank = static_cast<std::uint64_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(count_)));
   rank = std::clamp<std::uint64_t>(rank, 1, count_);

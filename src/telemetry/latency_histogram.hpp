@@ -56,9 +56,16 @@ class LatencyHistogram {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
 
-  /// Value at percentile `p` in [0, 100]. Returns the midpoint of the
-  /// bucket holding the rank-`ceil(p/100 * count)` sample, clamped to the
-  /// exact [min, max] envelope. Empty histograms report 0.
+  /// Value at percentile `p` in [0, 100] (out-of-range and NaN inputs are
+  /// treated as the nearest bound). Returns the midpoint of the bucket
+  /// holding the rank-`ceil(p/100 * count)` sample, clamped to the exact
+  /// [min, max] envelope. Edge behavior is exact, not approximate:
+  ///  - p0 returns the tracked minimum and p100 the tracked maximum, never
+  ///    a bucket midpoint;
+  ///  - a single-sample histogram reports that sample at *every*
+  ///    percentile, because its bucket midpoint round-trips through the
+  ///    clamp into the one-point envelope [min, max] = [x, x];
+  ///  - empty histograms report 0.
   Ns percentile(double p) const;
 
   Summary summary() const {

@@ -20,6 +20,7 @@
 #include "telemetry/latency_histogram.hpp"
 #include "telemetry/metric.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/span_profiler.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace choir::telemetry {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "analysis/export.hpp"
 #include "choir/controller.hpp"
@@ -132,6 +133,38 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         std::make_shared<telemetry::Tracer>(config.telemetry.max_trace_events);
     telemetry_session.emplace(registry.get(), tracer.get());
   }
+
+  // Host-time span profiler: a separate session from telemetry because
+  // host timestamps are nondeterministic (see TelemetryOptions::profile).
+  std::shared_ptr<telemetry::SpanProfiler> profiler;
+  std::optional<telemetry::ScopedProfiler> profiler_session;
+  if (config.telemetry.enabled && config.telemetry.profile) {
+    profiler = std::make_shared<telemetry::SpanProfiler>();
+    profiler_session.emplace(profiler.get());
+  }
+
+  // ---- Monitor session -------------------------------------------------
+  // Installed before the topology so the capture daemon binds its feed
+  // pointer at construction. Run 0's capture becomes the reference; each
+  // later run is monitored against it as it streams in.
+  std::shared_ptr<monitor::StreamMonitor> stream_monitor;
+  std::optional<monitor::ScopedMonitor> monitor_session;
+  if (config.monitor.enabled) {
+    monitor::MonitorConfig mcfg;
+    mcfg.window_packets = config.monitor.window_packets;
+    mcfg.top_k = config.monitor.top_k;
+    // With a spare core, the recorder's per-packet feed is a ring
+    // enqueue and matching/window κ run on the monitor's worker thread;
+    // on a single-core host the threads would just time-slice, so the
+    // pipeline runs inline instead. Outputs are identical either way.
+    mcfg.async = std::thread::hardware_concurrency() > 1;
+    stream_monitor = std::make_shared<monitor::StreamMonitor>(mcfg);
+    monitor_session.emplace(stream_monitor.get());
+  }
+
+  // Experiment phase spans (no-ops unless a profiler is installed).
+  std::optional<telemetry::ProfileSpan> phase_prof;
+  phase_prof.emplace("experiment.build");
 
   sim::EventQueue queue;
   Rng root(config.seed * 0x9e3779b97f4a7c15ULL + 0x43484f4952ULL);
@@ -410,7 +443,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const Ns end_of_world =
       replay_base + config.runs * run_spacing + milliseconds(20);
   if (noise != nullptr) noise->run(milliseconds(2), end_of_world);
-  queue.run_until(end_of_world);
+  phase_prof.reset();
+  {
+    telemetry::ProfileSpan prof_run("experiment.run");
+    queue.run_until(end_of_world);
+  }
+  phase_prof.emplace("experiment.evaluate");
 
   if (tracer != nullptr) {
     // Experiment phases on track 0; the boundaries are schedule constants,
@@ -456,6 +494,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   result.mean = mean_metrics(result.comparisons);
   if (config.keep_captures) result.captures = std::move(captures);
+  phase_prof.reset();
+
+  if (stream_monitor != nullptr) {
+    stream_monitor->finalize();
+    result.monitor = stream_monitor;
+    if (!config.monitor.dir.empty()) {
+      std::filesystem::create_directories(config.monitor.dir);
+      const std::string dir = config.monitor.dir + "/";
+      monitor::write_divergence_jsonl(*stream_monitor,
+                                      dir + "divergence.jsonl");
+      monitor::write_windows_csv(*stream_monitor, dir + "windows.csv");
+    }
+  }
+
+  if (profiler != nullptr) {
+    result.profile = profiler;
+    // Host-time spans ride a dedicated tracer track; only opted-in runs
+    // carry them, so default trace.json artifacts stay byte-identical.
+    if (tracer != nullptr) profiler->export_to_tracer(*tracer);
+    if (!config.telemetry.dir.empty()) {
+      std::filesystem::create_directories(config.telemetry.dir);
+      profiler->write_csv(config.telemetry.dir + "/profile.csv");
+    }
+  }
 
   if (config.telemetry.enabled) {
     sampler->sample_now();  // final snapshot at end_of_world

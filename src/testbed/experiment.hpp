@@ -12,7 +12,9 @@
 #include "choir/middlebox.hpp"
 #include "core/metrics.hpp"
 #include "fault/injector.hpp"
+#include "monitor/monitor.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/span_profiler.hpp"
 #include "telemetry/tracer.hpp"
 #include "testbed/presets.hpp"
 #include "trace/capture.hpp"
@@ -41,6 +43,27 @@ struct TelemetryOptions {
   Ns sample_period = milliseconds(5);
   /// Trace-event memory bound; past it, events count as dropped.
   std::size_t max_trace_events = telemetry::Tracer::kDefaultMaxEvents;
+  /// Host-time span profiling of the hot paths (record drain, replay
+  /// pacing, κ compute, monitor windows). Off by default because host
+  /// timestamps are nondeterministic, which would break byte-identical
+  /// artifacts; the simulation itself stays bit-identical either way.
+  /// Effective only when `enabled` is set. Adds `profile.csv` and a
+  /// "profiler (host ns)" track to `trace.json` when a dir is given.
+  bool profile = false;
+};
+
+/// Streaming consistency monitoring for a run (see docs/MONITOR.md).
+/// Like telemetry, strictly an observer: a seeded run is bit-identical
+/// with the monitor on or off.
+struct MonitorOptions {
+  bool enabled = false;
+  /// When non-empty, run_experiment writes `divergence.jsonl` and
+  /// `windows.csv` into this directory (created if missing).
+  std::string dir;
+  /// Packets of each monitored stream per κ window.
+  std::size_t window_packets = 8192;
+  /// Attribution entries per window per kind; 0 disables attribution.
+  std::size_t top_k = 16;
 };
 
 struct ExperimentConfig {
@@ -56,6 +79,7 @@ struct ExperimentConfig {
   bool keep_captures = false;
   ReplayEngine engine = ReplayEngine::kChoir;
   TelemetryOptions telemetry;
+  MonitorOptions monitor;
 };
 
 struct ExperimentResult {
@@ -86,6 +110,12 @@ struct ExperimentResult {
   std::shared_ptr<telemetry::Registry> telemetry_registry;
   std::shared_ptr<telemetry::Tracer> telemetry_trace;
   std::vector<telemetry::Snapshot> telemetry_samples;
+
+  /// Streaming monitor (windows, running estimates, divergence records,
+  /// per-stream exact finales); populated iff config.monitor.enabled.
+  std::shared_ptr<monitor::StreamMonitor> monitor;
+  /// Host-time span profile; populated iff config.telemetry.profile.
+  std::shared_ptr<telemetry::SpanProfiler> profile;
 };
 
 /// Run one full experiment. Deterministic in (config, seed).

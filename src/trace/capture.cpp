@@ -17,23 +17,21 @@ CaptureRecord CaptureRecord::from_frame(const pktio::Frame& frame,
   return r;
 }
 
+core::PacketId CaptureRecord::packet_id() const {
+  if (has_trailer) {
+    if (const auto tag = decode_tag(trailer)) return packet_id_of(*tag);
+  }
+  core::PacketId id;
+  id.hi = 0x7261772d74616773ULL;  // untagged: fall back to payload
+  id.lo = payload_token;
+  return id;
+}
+
 core::Trial Capture::to_trial() const {
   core::Trial trial;
   trial.reserve(records_.size());
   for (const CaptureRecord& r : records_) {
-    core::PacketId id;
-    if (r.has_trailer) {
-      if (const auto tag = decode_tag(r.trailer)) {
-        id = packet_id_of(*tag);
-      } else {
-        id.hi = 0x7261772d74616773ULL;  // untagged: fall back to payload
-        id.lo = r.payload_token;
-      }
-    } else {
-      id.hi = 0x7261772d74616773ULL;
-      id.lo = r.payload_token;
-    }
-    trial.push_back(core::TrialPacket{id, r.timestamp});
+    trial.push_back(core::TrialPacket{r.packet_id(), r.timestamp});
   }
   trial.make_occurrences_unique();
   return trial;

@@ -23,6 +23,11 @@ struct CaptureRecord {
 
   /// Snapshot everything the recorder keeps from a frame.
   static CaptureRecord from_frame(const pktio::Frame& frame, Ns timestamp);
+
+  /// Metrics-layer identity of this record, before occurrence tagging:
+  /// the evaluation trailer where present, otherwise the payload token.
+  /// Shared by Capture::to_trial and the streaming monitor feed.
+  core::PacketId packet_id() const;
 };
 
 /// An ordered packet capture from one receiver. Order is arrival order

@@ -3,7 +3,13 @@
 namespace choir::trace {
 
 void CaptureDaemon::arm(Ns from, Ns until, Capture* out) {
-  queue_.schedule_at(from, [this, out] { active_ = out; });
+  // The monitor's stream boundary rides the existing arm event: no new
+  // queue insertions, so event sequence numbers — and with them the
+  // seeded run — are untouched whether a monitor is installed or not.
+  queue_.schedule_at(from, [this, out] {
+    active_ = out;
+    if (monitor_ != nullptr) monitor_->begin_stream(out->name());
+  });
   queue_.schedule_at(until, [this, out, from, until] {
     if (active_ == out) active_ = nullptr;
     if (auto* tracer = telemetry::tracer()) {
@@ -15,6 +21,7 @@ void CaptureDaemon::arm(Ns from, Ns until, Capture* out) {
 }
 
 bool CaptureDaemon::drain() {
+  telemetry::ProfileSpan prof("record.drain");
   pktio::Mbuf* burst[pktio::kMaxBurst];
   bool worked = false;
   for (;;) {
@@ -24,7 +31,12 @@ bool CaptureDaemon::drain() {
     for (std::uint16_t i = 0; i < n; ++i) {
       pktio::Mbuf* m = burst[i];
       if (active_ != nullptr) {
-        active_->append(CaptureRecord::from_frame(m->frame, m->rx_timestamp));
+        const CaptureRecord record =
+            CaptureRecord::from_frame(m->frame, m->rx_timestamp);
+        if (monitor_ != nullptr) {
+          monitor_->observe(record.packet_id(), record.timestamp);
+        }
+        active_->append(record);
         ++recorded_;
         tm_recorded_.add();
       } else {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "monitor/monitor.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ethdev.hpp"
 #include "sim/event_queue.hpp"
@@ -29,7 +30,8 @@ class CaptureDaemon {
         loop_(queue, vf, poll, rng, label),
         tm_recorded_(telemetry::counter(label + ".captured")),
         tm_discarded_(telemetry::counter(label + ".discarded")),
-        tm_track_(telemetry::track(label)) {
+        tm_track_(telemetry::track(label)),
+        monitor_(monitor::current()) {
     loop_.set_handler([this] { return drain(); });
     loop_.start();
   }
@@ -55,6 +57,10 @@ class CaptureDaemon {
   telemetry::CounterHandle tm_recorded_;
   telemetry::CounterHandle tm_discarded_;
   std::uint32_t tm_track_ = 0;
+  /// Streaming monitor feed, bound at construction (telemetry hook
+  /// style): null when no monitor session is installed, in which case
+  /// the per-packet feed is a single predictable branch.
+  monitor::StreamMonitor* monitor_;
 };
 
 }  // namespace choir::trace

@@ -4,6 +4,8 @@
 // every run still records, replays, and evaluates.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "testbed/experiment.hpp"
@@ -18,6 +20,20 @@ ExperimentConfig sweep_config(double intensity, std::uint64_t seed = 11) {
   cfg.runs = 3;
   cfg.seed = seed;
   cfg.collect_series = false;
+  // CI runs the chaos suite with the streaming monitor riding along
+  // (CHOIR_MONITOR=1) to prove the observer survives every fault mode;
+  // CHOIR_MONITOR_DIR additionally exports divergence.jsonl/windows.csv
+  // artifacts (per intensity/seed) for upload.
+  if (std::getenv("CHOIR_MONITOR") != nullptr ||
+      std::getenv("CHOIR_MONITOR_DIR") != nullptr) {
+    cfg.monitor.enabled = true;
+    cfg.monitor.window_packets = 512;
+    if (const char* dir = std::getenv("CHOIR_MONITOR_DIR")) {
+      cfg.monitor.dir = std::string(dir) + "/chaos-i" +
+                        std::to_string(intensity).substr(0, 4) + "-s" +
+                        std::to_string(seed);
+    }
+  }
   return cfg;
 }
 

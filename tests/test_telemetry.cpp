@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -118,6 +119,37 @@ TEST(LatencyHistogram, SingleSampleIsExactAtEveryPercentile) {
   EXPECT_EQ(h.percentile(50.0), 12345);
   EXPECT_EQ(h.percentile(99.9), 12345);
   EXPECT_EQ(h.percentile(100.0), 12345);
+}
+
+TEST(LatencyHistogram, P0AndP100ReturnTrackedEnvelopeExactly) {
+  // The extreme ranks bypass the bucket midpoint entirely: p0 is the
+  // tracked min and p100 the tracked max, even when both values sit in
+  // the middle of wide buckets whose midpoints differ from them.
+  LatencyHistogram h;
+  const Ns lo = 100003;  // not a bucket boundary
+  const Ns hi = 900007;
+  h.record(hi);
+  h.record(lo);
+  for (int i = 0; i < 100; ++i) h.record(500000);
+  EXPECT_EQ(h.percentile(0.0), lo);
+  EXPECT_EQ(h.percentile(100.0), hi);
+  // Sanity: midpoints of the envelope buckets are not the raw values,
+  // so the equalities above prove the exact path was taken.
+  const auto lo_bucket = LatencyHistogram::bucket_index(lo);
+  const std::uint64_t lo_mid =
+      LatencyHistogram::bucket_lo(lo_bucket) +
+      (LatencyHistogram::bucket_width(lo_bucket) - 1) / 2;
+  EXPECT_NE(static_cast<Ns>(lo_mid), lo);
+}
+
+TEST(LatencyHistogram, OutOfRangeAndNanPercentilesClamp) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10; ++i) h.record(i * 1000);
+  EXPECT_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(-5.0), h.min());
+  EXPECT_EQ(h.percentile(250.0), h.percentile(100.0));
+  EXPECT_EQ(h.percentile(250.0), h.max());
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), h.min());
 }
 
 TEST(LatencyHistogram, MaxSaturatesInsteadOfOverflowing) {

@@ -6,6 +6,8 @@
 //   figure <env> [opts]       run and print IAT/latency histograms
 //   save <env> <dir> [opts]   run and write per-run .trc and .pcap files
 //   stats <env> [opts]        run with telemetry, print counter/latency stats
+//   stats <dir>               summarize previously written telemetry artifacts
+//   monitor <env> [opts]      run with the streaming monitor, print windows
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
 //
 // Options:
@@ -15,8 +17,20 @@
 //   --engine E     choir | sleep | busywait | gapfill (default choir)
 //   --telemetry D  collect telemetry and write counters.jsonl,
 //                  histograms.csv and trace.json into directory D
+//   --monitor D    enable the streaming monitor and write
+//                  divergence.jsonl + windows.csv into directory D
+//   --window-packets N  monitor window size in packets (default 8192)
+//   --top-k N      attribution entries per window per kind (default 16)
+//   --windows      (stats) also run the monitor and print per-window rows
+//   --profile      host-time span profiling (profile.csv, trace track)
+//
+// Environment names accept every preset from `list` plus chaos-<f>
+// (e.g. chaos-0.50) for the parametric chaos sweep presets.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -42,10 +56,14 @@ int usage() {
       "  figure <env> [opts]           print IAT/latency delta histograms\n"
       "  save <env> <dir> [opts]       write per-run .trc/.pcap files\n"
       "  stats <env> [opts]            run with telemetry, print stats\n"
+      "  stats <dir>                   summarize saved telemetry artifacts\n"
+      "  monitor <env> [opts]          run with the streaming monitor\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
       "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
-      "choir|sleep|busywait|gapfill  --telemetry DIR\n");
+      "choir|sleep|busywait|gapfill  --telemetry DIR\n"
+      "         --monitor DIR  --window-packets N  --top-k N  --windows  "
+      "--profile\n");
   return 2;
 }
 
@@ -53,6 +71,16 @@ bool find_preset(const std::string& name, testbed::EnvironmentPreset* out) {
   for (const auto& p : testbed::all_presets()) {
     if (p.name == name) {
       *out = p;
+      return true;
+    }
+  }
+  // chaos-<intensity> presets are parametric, not in the fixed list.
+  if (name.rfind("chaos-", 0) == 0) {
+    char* end = nullptr;
+    const double intensity = std::strtod(name.c_str() + 6, &end);
+    if (end != nullptr && *end == '\0' && intensity >= 0.0 &&
+        intensity <= 1.0) {
+      *out = testbed::chaos_single(intensity);
       return true;
     }
   }
@@ -67,19 +95,38 @@ struct Options {
   std::string csv_dir;        ///< when set, write CSV artifacts there
   std::string telemetry_dir;  ///< when set, collect + export telemetry
   bool telemetry = false;
+  bool monitor = false;       ///< streaming monitor on
+  std::string monitor_dir;    ///< when set, write monitor artifacts there
+  std::size_t window_packets = 8192;
+  std::size_t top_k = 16;
+  bool windows = false;       ///< stats: print per-window monitor rows
+  bool profile = false;       ///< host-time span profiling
   bool ok = true;
 };
 
 Options parse_options(const std::vector<std::string>& args,
                       std::size_t from) {
   Options opt;
-  for (std::size_t i = from; i < args.size(); i += 2) {
+  for (std::size_t i = from; i < args.size();) {
+    const std::string& key = args[i];
+    // Flags (no value).
+    if (key == "--windows") {
+      opt.windows = true;
+      opt.monitor = true;
+      ++i;
+      continue;
+    }
+    if (key == "--profile") {
+      opt.profile = true;
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       opt.ok = false;
       return opt;
     }
-    const std::string& key = args[i];
     const std::string& value = args[i + 1];
+    i += 2;
     if (key == "--packets") {
       opt.packets = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--runs") {
@@ -91,6 +138,13 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (key == "--telemetry") {
       opt.telemetry = true;
       opt.telemetry_dir = value;
+    } else if (key == "--monitor") {
+      opt.monitor = true;
+      opt.monitor_dir = value;
+    } else if (key == "--window-packets") {
+      opt.window_packets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--top-k") {
+      opt.top_k = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--engine") {
       if (value == "choir") {
         opt.engine = testbed::ReplayEngine::kChoir;
@@ -119,8 +173,15 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.seed = opt.seed;
   cfg.engine = opt.engine;
   cfg.keep_captures = keep_captures;
-  cfg.telemetry.enabled = opt.telemetry;
+  // --profile implies a telemetry session (the profiler exports through
+  // the tracer and telemetry artifact directory).
+  cfg.telemetry.enabled = opt.telemetry || opt.profile;
   cfg.telemetry.dir = opt.telemetry_dir;
+  cfg.telemetry.profile = opt.profile;
+  cfg.monitor.enabled = opt.monitor;
+  cfg.monitor.dir = opt.monitor_dir;
+  cfg.monitor.window_packets = opt.window_packets;
+  cfg.monitor.top_k = opt.top_k;
   return run_experiment(cfg);
 }
 
@@ -187,9 +248,74 @@ int cmd_run(const std::vector<std::string>& args, bool figures) {
   return 0;
 }
 
+void print_profile(const testbed::ExperimentResult& result) {
+  if (result.profile == nullptr) return;
+  std::printf("-- span profile (host time) --\n%s",
+              result.profile->render_table().c_str());
+}
+
+void print_monitor(const testbed::ExperimentResult& result,
+                   bool window_rows, std::size_t divergence_limit) {
+  if (result.monitor == nullptr) return;
+  const auto& mon = *result.monitor;
+  std::printf("-- monitored streams (exact Eq. 5 vs run-0) --\n%s",
+              monitor::render_stream_summary(mon).c_str());
+  if (window_rows) {
+    std::printf("-- windows (w=%zu packets) --\n%s",
+                mon.config().window_packets,
+                monitor::render_window_table(mon).c_str());
+  }
+  if (divergence_limit > 0 && !mon.divergence().empty()) {
+    std::printf("-- top divergent packets --\n%s",
+                monitor::render_top_divergence(mon, divergence_limit).c_str());
+  }
+}
+
+/// `stats <dir>`: summarize artifacts a previous run wrote, instead of
+/// running an experiment. Exits non-zero with a clear message when the
+/// directory is missing or holds no telemetry artifacts.
+int cmd_stats_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(dir) || !fs::is_directory(dir)) {
+    std::fprintf(stderr,
+                 "choirctl: telemetry directory '%s' does not exist\n",
+                 dir.c_str());
+    return 1;
+  }
+  static const char* const kArtifacts[] = {
+      "counters.jsonl", "histograms.csv", "trace.json",
+      "windows.csv",    "divergence.jsonl", "profile.csv",
+  };
+  bool any = false;
+  for (const char* name : kArtifacts) {
+    const fs::path path = fs::path(dir) / name;
+    if (!fs::exists(path) || fs::file_size(path) == 0) continue;
+    any = true;
+    std::ifstream in(path);
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line);) ++lines;
+    std::printf("%-18s %8llu bytes  %6zu lines\n", name,
+                static_cast<unsigned long long>(fs::file_size(path)), lines);
+  }
+  if (!any) {
+    std::fprintf(stderr,
+                 "choirctl: no telemetry artifacts in '%s' (expected "
+                 "counters.jsonl, histograms.csv, trace.json, ...)\n",
+                 dir.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_stats(const std::vector<std::string>& args) {
   testbed::EnvironmentPreset env;
-  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  if (args.size() < 3) return usage();
+  if (!find_preset(args[2], &env)) {
+    // Not a preset: treat the argument as a telemetry artifact directory
+    // (error out clearly when it is neither).
+    if (!args[2].empty() && args[2][0] == '-') return usage();
+    return cmd_stats_dir(args[2]);
+  }
   Options opt = parse_options(args, 3);
   if (!opt.ok) return usage();
   opt.telemetry = true;
@@ -225,9 +351,31 @@ int cmd_stats(const std::vector<std::string>& args) {
   std::printf("-- trace --\n  %zu events recorded, %llu dropped\n",
               tracer.events().size(),
               static_cast<unsigned long long>(tracer.dropped()));
+  print_monitor(result, opt.windows, 0);
+  print_profile(result);
   if (!opt.telemetry_dir.empty()) {
     std::printf("wrote %s/{counters.jsonl,histograms.csv,trace.json}\n",
                 opt.telemetry_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_monitor(const std::vector<std::string>& args) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  Options opt = parse_options(args, 3);
+  if (!opt.ok) return usage();
+  opt.monitor = true;
+  const auto result = run_with(env, opt, false);
+  std::printf("%s: %llu packets/trial, %d runs, mean kappa %.4f\n",
+              env.name.c_str(),
+              static_cast<unsigned long long>(result.recorded_packets),
+              opt.runs, result.mean.kappa);
+  print_monitor(result, /*window_rows=*/true, /*divergence_limit=*/10);
+  print_profile(result);
+  if (!opt.monitor_dir.empty()) {
+    std::printf("wrote %s/{divergence.jsonl,windows.csv}\n",
+                opt.monitor_dir.c_str());
   }
   return 0;
 }
@@ -288,6 +436,7 @@ int main(int argc, char** argv) {
     if (command == "figure") return cmd_run(args, true);
     if (command == "save") return cmd_save(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "monitor") return cmd_monitor(args);
     if (command == "compare") return cmd_compare(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "choirctl: %s\n", error.what());
