@@ -27,8 +27,18 @@ const char* engine_name(testbed::ReplayEngine engine) {
   return "?";
 }
 
+const char* engine_tag(testbed::ReplayEngine engine) {
+  switch (engine) {
+    case testbed::ReplayEngine::kChoir: return "choir";
+    case testbed::ReplayEngine::kSleep: return "sleep";
+    case testbed::ReplayEngine::kBusyWait: return "busywait";
+    case testbed::ReplayEngine::kGapFill: return "gapfill";
+  }
+  return "?";
+}
+
 void run_matrix(const testbed::EnvironmentPreset& preset,
-                const char* title) {
+                const char* title, bench::Reporter& reporter) {
   std::printf("=== Ablation: replay engines on %s ===\n", title);
   analysis::TextTable table(
       {"Engine", "U", "O", "I", "L", "kappa", "IAT +-10ns", "drops"});
@@ -42,6 +52,8 @@ void run_matrix(const testbed::EnvironmentPreset& preset,
     cfg.seed = 99;
     cfg.engine = engine;
     const auto result = run_experiment(cfg);
+    reporter.add_case(cfg, result,
+                      cfg.env.name + "+" + engine_tag(engine));
 
     double within = 0;
     for (const auto& c : result.comparisons) {
@@ -69,10 +81,12 @@ void run_matrix(const testbed::EnvironmentPreset& preset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation", &argc, argv);
   run_matrix(testbed::fabric_dedicated_80(),
-             "dedicated NICs, quiet (line rate available)");
+             "dedicated NICs, quiet (line rate available)", reporter);
   run_matrix(testbed::fabric_shared_40_noisy(),
-             "shared NICs with co-located iperf load");
+             "shared NICs with co-located iperf load", reporter);
+  reporter.finish();
   return 0;
 }

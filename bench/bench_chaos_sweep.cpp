@@ -11,8 +11,9 @@
 #include "bench_common.hpp"
 #include "testbed/scale.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("chaos_sweep", &argc, argv);
   const std::uint64_t packets = testbed::scale_from_env() / 2;
   const double intensities[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   const std::uint64_t seeds[] = {2025, 2026, 2027};
@@ -51,6 +52,18 @@ int main() {
       std::fprintf(stderr, "done: intensity %.2f seed %llu\n", intensity,
                    static_cast<unsigned long long>(seed));
     }
+    char key[16];
+    std::snprintf(key, sizeof(key), "%.2f", intensity);
+    const std::string prefix = std::string("intensity.") + key + ".";
+    reporter.add_metric(prefix + "kappa", kappa / n);
+    reporter.add_metric(prefix + "U", u / n);
+    reporter.add_metric(prefix + "O", o / n);
+    reporter.add_metric(prefix + "I", i_metric / n);
+    reporter.add_metric(prefix + "link_faults", static_cast<double>(link));
+    reporter.add_metric(prefix + "nic_faults", static_cast<double>(nic));
+    reporter.add_metric(prefix + "mempool_denied", static_cast<double>(mem));
+    reporter.add_metric(prefix + "control_retries",
+                        static_cast<double>(retries));
     char col[9][24];
     std::snprintf(col[0], sizeof(col[0]), "%.2f", intensity);
     std::snprintf(col[1], sizeof(col[1]), "%.4f", kappa / n);
@@ -68,6 +81,7 @@ int main() {
     table.add_row({col[0], col[1], col[2], col[3], col[4], col[5], col[6],
                    col[7], col[8]});
   }
+  reporter.finish();
   std::printf("%s", table.str().c_str());
   std::printf(
       "\nReading: kappa decreases monotonically with intensity. Per-frame "

@@ -1,6 +1,12 @@
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "analysis/histogram.hpp"
 #include "analysis/report.hpp"
@@ -87,6 +93,113 @@ std::vector<std::string> table2_row(const std::string& name,
   const auto cells = analysis::metrics_cells(result.mean);
   row.insert(row.end(), cells.begin(), cells.end());
   return row;
+}
+
+namespace {
+
+bool host_time_enabled() {
+  const char* v = std::getenv("CHOIR_BENCH_HOST_TIME");
+  return v != nullptr && std::strcmp(v, "1") == 0;
+}
+
+double host_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string json_path_from_args(const std::string& name, int* argc,
+                                char** argv) {
+  std::string path;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[i + 1];
+      // Strip the flag and its value so downstream parsers (e.g.
+      // google-benchmark's Initialize) never see them.
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      break;
+    }
+  }
+  if (path.empty()) {
+    if (const char* dir = std::getenv("CHOIR_BENCH_JSON")) {
+      path = std::string(dir) + "/BENCH_" + name + ".json";
+    }
+  }
+  return path;
+}
+
+Reporter::Reporter(const std::string& name, int* argc, char** argv)
+    : report_(testbed::make_bench_report(name)),
+      path_(json_path_from_args(name, argc, argv)) {
+  report_.include_host = host_time_enabled();
+  if (report_.include_host) {
+    start_ms_ = host_now_ms();
+    char hostname[256] = "unknown";
+    gethostname(hostname, sizeof(hostname) - 1);
+    report_.host.hostname = hostname;
+#if defined(__VERSION__)
+    report_.host.compiler = __VERSION__;
+#endif
+    report_.host.hardware_threads = std::thread::hardware_concurrency();
+  }
+}
+
+void Reporter::add_env(const testbed::EnvironmentPreset& preset,
+                       const testbed::ExperimentResult& result,
+                       std::uint64_t seed) {
+  testbed::ExperimentConfig cfg;  // mirror run_env()'s configuration
+  cfg.env = preset;
+  cfg.packets = testbed::scale_from_env();
+  cfg.runs = 5;
+  cfg.seed = seed;
+  add_case(cfg, result);
+}
+
+void Reporter::add_case(const testbed::ExperimentConfig& config,
+                        const testbed::ExperimentResult& result,
+                        const std::string& case_name) {
+  report_.cases.push_back(
+      testbed::make_bench_case(config, result, case_name));
+  if (report_.include_host && result.profile != nullptr) {
+    const std::string& env = report_.cases.back().env;
+    const double packets =
+        result.recorded_packets > 0
+            ? static_cast<double>(result.recorded_packets)
+            : 1.0;
+    for (const auto& entry : result.profile->summary()) {
+      analysis::BenchStage stage;
+      stage.name = env + "." + entry.name;
+      stage.count = entry.agg.count;
+      stage.total_ns = entry.agg.total_ns;
+      stage.self_ns = entry.agg.self_ns();
+      stage.self_ns_per_packet =
+          static_cast<double>(entry.agg.self_ns()) / packets;
+      report_.host.stages.push_back(std::move(stage));
+    }
+  }
+}
+
+void Reporter::add_metric(const std::string& path, double value) {
+  report_.metrics.emplace_back(path, value);
+}
+
+void Reporter::add_host_metric(const std::string& path, double value) {
+  if (report_.include_host) {
+    report_.metrics.emplace_back("host." + path, value);
+  }
+}
+
+std::string Reporter::finish() {
+  if (path_.empty()) return {};
+  if (report_.include_host) {
+    report_.host.wall_ms = host_now_ms() - start_ms_;
+  }
+  analysis::write_json(report_, path_);
+  std::fprintf(stderr, "wrote %s\n", path_.c_str());
+  return path_;
 }
 
 }  // namespace choir::bench

@@ -6,10 +6,19 @@
 // same rows/series the paper reports. Scale defaults to a reduced,
 // shape-preserving packet count; set CHOIR_FULL=1 or CHOIR_SCALE=<n> for
 // more (see testbed/scale.hpp).
+// Besides the text output, every binary can emit a machine-readable
+// BENCH_<name>.json (see docs/BENCHMARKS.md): pass `--json PATH` or set
+// CHOIR_BENCH_JSON=<dir>. The JSON is byte-deterministic at a fixed
+// seed/scale; host-time fields are only included with
+// CHOIR_BENCH_HOST_TIME=1 (they are nondeterministic by nature).
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "analysis/bench_report.hpp"
+#include "testbed/bench_suite.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/presets.hpp"
 
@@ -39,5 +48,57 @@ void print_latency_histogram(const testbed::ExperimentResult& result);
 /// Table 2 row: environment | U | O | I | L | kappa (means over runs).
 std::vector<std::string> table2_row(const std::string& name,
                                     const testbed::ExperimentResult& result);
+
+/// Resolve (and strip, so later arg parsers never see it) a `--json
+/// PATH` flag; falls back to CHOIR_BENCH_JSON=<dir>, which maps to
+/// <dir>/BENCH_<name>.json. Empty string means JSON output is off.
+std::string json_path_from_args(const std::string& name, int* argc,
+                                char** argv);
+
+/// Machine-readable twin of a bench binary's text output.
+///
+///   bench::Reporter reporter("fig4", argc, argv);
+///   ...
+///   reporter.add_env(preset, result);
+///   reporter.finish();
+///
+/// finish() writes BENCH_<name>.json when `--json` / CHOIR_BENCH_JSON
+/// selected a destination, and is a no-op otherwise — a bench binary
+/// never changes behaviour just because JSON output is off.
+class Reporter {
+ public:
+  Reporter(const std::string& name, int* argc, char** argv);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record an environment run produced by run_env() (its defaults:
+  /// scale_from_env() packets, 5 runs).
+  void add_env(const testbed::EnvironmentPreset& preset,
+               const testbed::ExperimentResult& result,
+               std::uint64_t seed = 2025);
+
+  /// Record a custom configuration's run. `case_name` overrides the
+  /// preset name when one environment appears in several cases.
+  void add_case(const testbed::ExperimentConfig& config,
+                const testbed::ExperimentResult& result,
+                const std::string& case_name = {});
+
+  /// Record a free-form deterministic scalar under "metrics".
+  void add_metric(const std::string& path, double value);
+
+  /// Record a host-time scalar (under "metrics" with a host. prefix,
+  /// which the comparator treats as report-only). Dropped entirely
+  /// unless CHOIR_BENCH_HOST_TIME=1, keeping default output
+  /// byte-deterministic.
+  void add_host_metric(const std::string& path, double value);
+
+  /// Write the report; returns the path written ("" when disabled).
+  std::string finish();
+
+ private:
+  analysis::BenchReport report_;
+  std::string path_;
+  double start_ms_ = 0.0;  ///< host clock at construction (host gate only)
+};
 
 }  // namespace choir::bench

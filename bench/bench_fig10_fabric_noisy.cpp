@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig10", &argc, argv);
   {
     const auto preset = testbed::fabric_shared_40_noisy();
     const auto result = bench::run_env(preset);
@@ -26,6 +27,9 @@ int main() {
                 "205-1230 packets each)\n", runs_with_drops);
     bench::print_iat_histogram(result);      // Fig. 10a
     bench::print_latency_histogram(result);  // Fig. 10b
+    reporter.add_env(preset, result);
+    reporter.add_metric("runs_with_drops",
+                        static_cast<double>(runs_with_drops));
   }
   {
     const auto preset = testbed::fabric_dedicated_80_noisy();
@@ -33,6 +37,8 @@ int main() {
     bench::print_header("Section 7.1 control (dedicated, noisy)", preset,
                         result);
     bench::print_run_metrics(result);
+    reporter.add_env(preset, result);
   }
+  reporter.finish();
   return 0;
 }

@@ -3,13 +3,16 @@
 // ~92.2-92.5% of IAT deltas within +-10 ns, I ~0.029, kappa ~0.985.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig4", &argc, argv);
   const auto preset = testbed::local_single();
   const auto result = bench::run_env(preset);
   bench::print_header("Figure 4 / Section 6.1", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 4a
   bench::print_latency_histogram(result);  // Fig. 4b
+  reporter.add_env(preset, result);
+  reporter.finish();
   return 0;
 }

@@ -4,12 +4,15 @@
 // Fig. 4a with longer tails.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig5", &argc, argv);
   const auto preset = testbed::local_dual();
   const auto result = bench::run_env(preset);
   bench::print_header("Figure 5 / Section 6.2", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);  // Fig. 5
+  reporter.add_env(preset, result);
+  reporter.finish();
   return 0;
 }

@@ -3,13 +3,16 @@
 // I ~0.49-0.51, L ~2-5e-5, kappa 0.65-0.82.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig6", &argc, argv);
   const auto preset = testbed::fabric_dedicated_40_epoch1();
   const auto result = bench::run_env(preset);
   bench::print_header("Figure 6 / Section 7 test 1", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 6a
   bench::print_latency_histogram(result);  // Fig. 6b
+  reporter.add_env(preset, result);
+  reporter.finish();
   return 0;
 }

@@ -4,13 +4,16 @@
 // than the dedicated-NIC epoch.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig7", &argc, argv);
   const auto preset = testbed::fabric_shared_40();
   const auto result = bench::run_env(preset);
   bench::print_header("Figure 7 / Section 7 test 2", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 7a
   bench::print_latency_histogram(result);  // Fig. 7b
+  reporter.add_env(preset, result);
+  reporter.finish();
   return 0;
 }

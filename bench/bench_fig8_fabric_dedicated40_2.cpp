@@ -4,13 +4,16 @@
 // (an order worse than epoch 1), kappa ~0.743-0.756.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig8", &argc, argv);
   const auto preset = testbed::fabric_dedicated_40_epoch2();
   const auto result = bench::run_env(preset);
   bench::print_header("Figure 8 / Section 7 test 3", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 8a
   bench::print_latency_histogram(result);  // Fig. 8b
+  reporter.add_env(preset, result);
+  reporter.finish();
   return 0;
 }

@@ -4,14 +4,16 @@
 // consistent at the higher rate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("fig9", &argc, argv);
   {
     const auto preset = testbed::fabric_dedicated_80();
     const auto result = bench::run_env(preset);
     bench::print_header("Figure 9a / Section 7 at 80G", preset, result);
     bench::print_run_metrics(result);
     bench::print_iat_histogram(result);
+    reporter.add_env(preset, result);
   }
   {
     const auto preset = testbed::fabric_shared_80();
@@ -19,6 +21,8 @@ int main() {
     bench::print_header("Figure 9b / Section 7 at 80G", preset, result);
     bench::print_run_metrics(result);
     bench::print_iat_histogram(result);
+    reporter.add_env(preset, result);
   }
+  reporter.finish();
   return 0;
 }

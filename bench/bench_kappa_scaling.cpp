@@ -16,8 +16,9 @@
 #include "core/weighted_kappa.hpp"
 #include "testbed/scale.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("kappa_scaling", &argc, argv);
   analysis::TextTable table({"Environment", "kappa (Eq.5)",
                              "presence-sensitive", "range-equalized"});
   std::uint64_t seed = 4242;
@@ -37,16 +38,22 @@ int main() {
       }
       return sum / static_cast<double>(result.comparisons.size());
     };
+    const double linear_v = mean_scaled(core::KappaScaling::linear());
+    const double presence_v =
+        mean_scaled(core::KappaScaling::presence_sensitive());
+    const double equalized_v =
+        mean_scaled(core::KappaScaling::range_equalized());
+    reporter.add_metric("scaling." + preset.name + ".linear", linear_v);
+    reporter.add_metric("scaling." + preset.name + ".presence", presence_v);
+    reporter.add_metric("scaling." + preset.name + ".equalized", equalized_v);
     char linear[16], presence[16], equalized[16];
-    std::snprintf(linear, sizeof(linear), "%.4f",
-                  mean_scaled(core::KappaScaling::linear()));
-    std::snprintf(presence, sizeof(presence), "%.4f",
-                  mean_scaled(core::KappaScaling::presence_sensitive()));
-    std::snprintf(equalized, sizeof(equalized), "%.4f",
-                  mean_scaled(core::KappaScaling::range_equalized()));
+    std::snprintf(linear, sizeof(linear), "%.4f", linear_v);
+    std::snprintf(presence, sizeof(presence), "%.4f", presence_v);
+    std::snprintf(equalized, sizeof(equalized), "%.4f", equalized_v);
     table.add_row({preset.name, linear, presence, equalized});
     std::fprintf(stderr, "done: %s\n", preset.name.c_str());
   }
+  reporter.finish();
   std::printf("=== kappa scaling ablation (Section 8.2 / 10 future work) "
               "===\n%s", table.str().c_str());
   std::printf(

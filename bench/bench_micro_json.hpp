@@ -1,0 +1,83 @@
+// Shared main body for the google-benchmark micros (bench_metrics,
+// bench_throughput): console output as before, plus the BENCH_*.json
+// twin behind --json / CHOIR_BENCH_JSON.
+//
+// A micro's iteration counts and times are host-dependent, so by
+// default only the deterministic payload lands in the JSON: one
+// presence marker per benchmark (so the comparator notices a benchmark
+// disappearing) and every non-rate user counter — in this repo those
+// are all simulated-timeline quantities (sim_gbps, max_lossless_gbps,
+// ...), deterministic in the fixed seeds the micros use. Iterations and
+// accumulated times are added only with CHOIR_BENCH_HOST_TIME=1.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace choir::bench {
+
+/// ConsoleReporter that also captures per-iteration runs for the JSON
+/// twin. Aggregate rows (BigO/RMS) are console-only.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    std::vector<std::pair<std::string, double>> counters;  ///< non-rate
+    std::uint64_t iterations = 0;
+    double real_accumulated_s = 0.0;
+    double cpu_accumulated_s = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.report_big_o ||
+          run.report_rms || run.error_occurred) {
+        continue;
+      }
+      Captured c;
+      c.name = run.benchmark_name();
+      for (const auto& [name, counter] : run.counters) {
+        if ((counter.flags & benchmark::Counter::kIsRate) != 0) continue;
+        c.counters.emplace_back(name, counter.value);
+      }
+      c.iterations = static_cast<std::uint64_t>(run.iterations);
+      c.real_accumulated_s = run.real_accumulated_time;
+      c.cpu_accumulated_s = run.cpu_accumulated_time;
+      captured.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Captured> captured;
+};
+
+inline int micro_benchmark_main(const std::string& name, int argc,
+                                char** argv) {
+  Reporter reporter(name, &argc, argv);  // strips --json before Initialize
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter console;
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+
+  for (const auto& run : console.captured) {
+    const std::string base = "micro." + run.name + ".";
+    reporter.add_metric(base + "present", 1.0);
+    for (const auto& [cname, value] : run.counters) {
+      reporter.add_metric(base + cname, value);
+    }
+    reporter.add_host_metric(base + "iterations",
+                             static_cast<double>(run.iterations));
+    reporter.add_host_metric(base + "real_ms", run.real_accumulated_s * 1e3);
+    reporter.add_host_metric(base + "cpu_ms", run.cpu_accumulated_s * 1e3);
+  }
+  reporter.finish();
+  return 0;
+}
+
+}  // namespace choir::bench

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "monitor/monitor.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/presets.hpp"
@@ -88,6 +89,7 @@ double observe_ns_per_packet(std::size_t packets) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter reporter("monitor_overhead", &argc, argv);
   double check_pct = -1.0;
   std::uint64_t packets = testbed::scale_from_env() / 4;
   int reps = 3;
@@ -154,8 +156,20 @@ int main(int argc, char** argv) {
   std::printf("  monitored: %zu windows, %zu attributed packets\n",
               r_on.monitor != nullptr ? r_on.monitor->windows().size() : 0,
               r_on.monitor != nullptr ? r_on.monitor->divergence().size() : 0);
-  std::printf("  observe() sync pipeline: %.1f ns/packet\n",
-              observe_ns_per_packet(1u << 20));
+  const double observe_ns = observe_ns_per_packet(1u << 20);
+  std::printf("  observe() sync pipeline: %.1f ns/packet\n", observe_ns);
+
+  // Simulated quantities are deterministic; host wall times go behind
+  // the CHOIR_BENCH_HOST_TIME gate.
+  reporter.add_metric("sim_pps_off", pps_off);
+  reporter.add_metric("sim_pps_on", pps_on);
+  reporter.add_metric("perturbation_pct", perturbation_pct);
+  reporter.add_metric("bit_identical", identical ? 1.0 : 0.0);
+  reporter.add_metric("mean_kappa", r_off.mean.kappa);
+  reporter.add_host_metric("wall_ms_off", best_off);
+  reporter.add_host_metric("wall_ms_on", best_on);
+  reporter.add_host_metric("observe_ns_per_packet", observe_ns);
+  reporter.finish();
 
   if (!identical) {
     std::fprintf(stderr,

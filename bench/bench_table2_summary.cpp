@@ -6,15 +6,19 @@
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choir;
+  bench::Reporter reporter("table2", &argc, argv);
   analysis::TextTable table({"Environment", "U", "O", "I", "L", "kappa"});
   std::uint64_t seed = 2025;
   for (const auto& preset : testbed::all_presets()) {
-    const auto result = bench::run_env(preset, seed++);
+    const auto result = bench::run_env(preset, seed);
     table.add_row(bench::table2_row(preset.name, result));
+    reporter.add_env(preset, result, seed);
+    ++seed;
     std::fprintf(stderr, "done: %s\n", preset.name.c_str());
   }
+  reporter.finish();
   std::printf("=== Table 2 — mean Section 3 metrics per environment ===\n");
   std::printf("%s", table.str().c_str());
   std::printf(

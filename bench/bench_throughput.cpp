@@ -151,4 +151,8 @@ BENCHMARK(BM_ForwardingBurstCap)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_micro_json.hpp"
+
+int main(int argc, char** argv) {
+  return choir::bench::micro_benchmark_main("throughput", argc, argv);
+}

@@ -1,0 +1,354 @@
+#include "analysis/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace choir::analysis {
+
+namespace {
+
+void write_metrics_object(json::Writer& w, const core::ConsistencyMetrics& m) {
+  w.begin_object();
+  w.key("U");
+  w.number(m.uniqueness);
+  w.key("O");
+  w.number(m.ordering);
+  w.key("I");
+  w.number(m.iat);
+  w.key("L");
+  w.number(m.latency);
+  w.key("kappa");
+  w.number(m.kappa);
+  w.end_object();
+}
+
+void write_case(json::Writer& w, const BenchCase& c) {
+  w.begin_object();
+  w.key("env");
+  w.string(c.env);
+  w.key("seed");
+  w.number(c.seed);
+  w.key("packets");
+  w.number(c.packets);
+  w.key("runs");
+  w.number(static_cast<std::int64_t>(c.runs));
+  w.key("rate_gbps");
+  w.number(c.rate_gbps);
+  w.key("frame_bytes");
+  w.number(static_cast<std::uint64_t>(c.frame_bytes));
+  w.key("replayers");
+  w.number(static_cast<std::int64_t>(c.replayers));
+  w.key("sim");
+  w.begin_object();
+  w.key("throughput_gbps");
+  w.number(c.throughput_gbps);
+  w.key("throughput_mpps");
+  w.number(c.throughput_mpps);
+  w.key("trial_ms");
+  w.number(c.trial_ms);
+  w.key("recorded_packets");
+  w.number(c.recorded_packets);
+  w.key("recorder_rx_drops");
+  w.number(c.recorder_rx_drops);
+  w.key("replay_tx_drops");
+  w.number(c.replay_tx_drops);
+  w.key("mean");
+  write_metrics_object(w, c.mean);
+  w.key("runs");
+  w.begin_array();
+  for (const auto& row : c.run_rows) {
+    w.begin_object();
+    w.key("label");
+    w.string(row.label);
+    w.key("U");
+    w.number(row.metrics.uniqueness);
+    w.key("O");
+    w.number(row.metrics.ordering);
+    w.key("I");
+    w.number(row.metrics.iat);
+    w.key("L");
+    w.number(row.metrics.latency);
+    w.key("kappa");
+    w.number(row.metrics.kappa);
+    w.key("iat_within_10ns");
+    w.number(row.iat_within_10ns);
+    w.key("capture_size");
+    w.number(row.capture_size);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // sim
+  if (!c.counters.empty()) {
+    auto sorted = c.counters;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : sorted) {
+      w.key(name);
+      w.number(value);
+    }
+    w.end_object();
+  }
+  w.end_object();  // case
+}
+
+void write_host(json::Writer& w, const BenchHost& h) {
+  w.begin_object();
+  w.key("hostname");
+  w.string(h.hostname);
+  w.key("compiler");
+  w.string(h.compiler);
+  w.key("hardware_threads");
+  w.number(static_cast<std::uint64_t>(h.hardware_threads));
+  w.key("wall_ms");
+  w.number(h.wall_ms);
+  w.key("stages");
+  w.begin_array();
+  for (const auto& s : h.stages) {
+    w.begin_object();
+    w.key("name");
+    w.string(s.name);
+    w.key("count");
+    w.number(s.count);
+    w.key("total_ns");
+    w.number(s.total_ns);
+    w.key("self_ns");
+    w.number(s.self_ns);
+    w.key("self_ns_per_packet");
+    w.number(s.self_ns_per_packet);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Path element for a flattened metric. Arrays of objects are keyed by
+/// their "env"/"label"/"name" member when present so paths stay stable
+/// as rows are appended; bare arrays fall back to indices.
+std::string element_key(const json::Value& element, std::size_t index) {
+  if (element.is_object()) {
+    for (const char* id : {"env", "label", "name"}) {
+      if (const json::Value* v = element.find(id); v && v->is_string()) {
+        return v->string_value;
+      }
+    }
+  }
+  return std::to_string(index);
+}
+
+void flatten_into(const json::Value& v, const std::string& prefix,
+                  std::vector<std::pair<std::string, double>>& out) {
+  switch (v.kind) {
+    case json::Value::Kind::kNumber:
+      out.emplace_back(prefix, v.number_value);
+      break;
+    case json::Value::Kind::kObject:
+      for (const auto& [name, member] : v.object) {
+        flatten_into(member, prefix.empty() ? name : prefix + "." + name, out);
+      }
+      break;
+    case json::Value::Kind::kArray:
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        flatten_into(v.array[i], prefix + "." + element_key(v.array[i], i),
+                     out);
+      }
+      break;
+    default:
+      break;  // strings/bools/nulls are identity, not metrics
+  }
+}
+
+bool is_host_path(const std::string& path) {
+  // The "host" section flattens to host.*; free-form host scalars under
+  // "metrics" carry a host. segment (metrics.host.wall_ms). Either way,
+  // a host component anywhere marks the metric report-only.
+  return path.rfind("host.", 0) == 0 ||
+         path.find(".host.") != std::string::npos;
+}
+
+const char* status_name(DiffStatus s) {
+  switch (s) {
+    case DiffStatus::kOk:
+      return "ok";
+    case DiffStatus::kRegressed:
+      return "REGRESSED";
+    case DiffStatus::kMissing:
+      return "MISSING";
+    case DiffStatus::kAdded:
+      return "new";
+    case DiffStatus::kHostOnly:
+      return "host";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.number(std::int64_t{1});
+  w.key("name");
+  w.string(report.name);
+  if (!report.suite.empty()) {
+    w.key("suite");
+    w.string(report.suite);
+  }
+  w.key("scale");
+  w.begin_object();
+  w.key("packets");
+  w.number(report.scale_packets);
+  w.key("choir_full");
+  w.boolean(report.choir_full);
+  w.key("choir_scale");
+  if (report.has_choir_scale) {
+    w.number(report.choir_scale);
+  } else {
+    w.null();
+  }
+  w.end_object();
+  w.key("cases");
+  w.begin_array();
+  for (const auto& c : report.cases) write_case(w, c);
+  w.end_array();
+  if (!report.metrics.empty()) {
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [name, value] : report.metrics) {
+      w.key(name);
+      w.number(value);
+    }
+    w.end_object();
+  }
+  if (report.include_host) {
+    w.key("host");
+    write_host(w, report.host);
+  }
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void write_json(const BenchReport& report, const std::string& path) {
+  const std::string body = to_json(report);  // serialize before opening
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHOIR_EXPECT(out.good(), "cannot open for writing: " + path);
+  out << body;
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const json::Value& report) {
+  std::vector<std::pair<std::string, double>> out;
+  flatten_into(report, "", out);
+  return out;
+}
+
+CompareResult compare_reports(const json::Value& baseline,
+                              const json::Value& current,
+                              const CompareOptions& options) {
+  const auto base_metrics = flatten_metrics(baseline);
+  const auto cur_metrics = flatten_metrics(current);
+  std::map<std::string, double> cur_by_path(cur_metrics.begin(),
+                                            cur_metrics.end());
+
+  CompareResult result;
+  // Baseline drives the comparison set, in baseline file order.
+  for (const auto& [path, base_value] : base_metrics) {
+    MetricDiff d;
+    d.path = path;
+    d.baseline = base_value;
+    const auto it = cur_by_path.find(path);
+    if (it == cur_by_path.end()) {
+      // A metric that existed in the baseline vanished: the bench lost
+      // coverage (or renamed a field without refreshing baselines).
+      // Host metrics get a pass — they are only present when the
+      // baseline was captured with CHOIR_BENCH_HOST_TIME=1.
+      d.status = is_host_path(path) ? DiffStatus::kHostOnly
+                                    : DiffStatus::kMissing;
+      if (d.status == DiffStatus::kMissing) ++result.regressions;
+      result.diffs.push_back(std::move(d));
+      continue;
+    }
+    d.current = it->second;
+    cur_by_path.erase(it);
+    const double abs_delta = std::abs(d.current - d.baseline);
+    const double denom = std::max(std::abs(d.baseline), 1e-300);
+    d.delta_pct = 100.0 * abs_delta / denom;
+    if (is_host_path(path)) {
+      d.status = DiffStatus::kHostOnly;
+    } else {
+      const double band = std::max(
+          options.near_zero_abs,
+          std::abs(d.baseline) * options.sim_tolerance_pct / 100.0);
+      if (abs_delta <= band) {
+        d.status = DiffStatus::kOk;
+      } else {
+        d.status = DiffStatus::kRegressed;
+        ++result.regressions;
+      }
+    }
+    result.diffs.push_back(std::move(d));
+  }
+  // Whatever remains in `current` is new coverage: report, never fail.
+  for (const auto& [path, value] : cur_by_path) {
+    MetricDiff d;
+    d.path = path;
+    d.current = value;
+    d.status = DiffStatus::kAdded;
+    ++result.added;
+    result.diffs.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::string render_compare(const CompareResult& result) {
+  std::string out;
+  char line[512];
+  auto emit = [&](const MetricDiff& d) {
+    if (d.status == DiffStatus::kMissing) {
+      std::snprintf(line, sizeof(line), "  %-10s %-52s baseline=%.6g\n",
+                    status_name(d.status), d.path.c_str(), d.baseline);
+    } else if (d.status == DiffStatus::kAdded) {
+      std::snprintf(line, sizeof(line), "  %-10s %-52s current=%.6g\n",
+                    status_name(d.status), d.path.c_str(), d.current);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s %-52s base=%.6g cur=%.6g (%.4f%%)\n",
+                    status_name(d.status), d.path.c_str(), d.baseline,
+                    d.current, d.delta_pct);
+    }
+    out += line;
+  };
+  // Regressions first so the verdict is at the top of the log; then new
+  // metrics, then host-only deltas. In-tolerance rows are summarized.
+  std::size_t ok_count = 0;
+  for (const auto& d : result.diffs) {
+    if (d.status == DiffStatus::kRegressed || d.status == DiffStatus::kMissing)
+      emit(d);
+  }
+  for (const auto& d : result.diffs) {
+    if (d.status == DiffStatus::kAdded) emit(d);
+  }
+  for (const auto& d : result.diffs) {
+    if (d.status == DiffStatus::kHostOnly) emit(d);
+  }
+  for (const auto& d : result.diffs) {
+    if (d.status == DiffStatus::kOk) ++ok_count;
+  }
+  std::snprintf(line, sizeof(line),
+                "  %zu metric(s) within tolerance, %zu regression(s), %zu "
+                "new\n",
+                ok_count, result.regressions, result.added);
+  out += line;
+  return out;
+}
+
+}  // namespace choir::analysis

@@ -4,61 +4,36 @@
 #include <cmath>
 
 #include "common/expect.hpp"
+#include "common/stats.hpp"
 
 namespace choir::analysis {
 
 namespace {
-template <typename T, typename Map>
-SummaryStats summarize_impl(std::span<const T> values, Map map) {
-  SummaryStats s;
-  s.count = values.size();
-  if (values.empty()) return s;
-  double sum = 0.0;
-  double lo = map(values[0]);
-  double hi = lo;
-  for (const T& v : values) {
-    const double x = map(v);
-    sum += x;
-    lo = std::min(lo, x);
-    hi = std::max(hi, x);
-  }
-  s.mean = sum / static_cast<double>(s.count);
-  double var = 0.0;
-  for (const T& v : values) {
-    const double d = map(v) - s.mean;
-    var += d * d;
-  }
-  s.stddev = std::sqrt(var / static_cast<double>(s.count));
-  s.min = lo;
-  s.max = hi;
-  return s;
+SummaryStats from_shared(const stats::Summary& s) {
+  return SummaryStats{s.count, s.mean, s.stddev, s.min, s.max};
 }
 }  // namespace
 
 SummaryStats summarize(std::span<const double> values) {
-  return summarize_impl(values, [](double v) { return v; });
+  return from_shared(stats::summarize(values, [](double v) { return v; }));
 }
 
 SummaryStats summarize(std::span<const std::int64_t> values) {
-  return summarize_impl(values,
-                        [](std::int64_t v) { return static_cast<double>(v); });
+  return from_shared(stats::summarize(
+      values, [](std::int64_t v) { return static_cast<double>(v); }));
 }
 
 SummaryStats summarize_abs(std::span<const std::int64_t> values) {
-  return summarize_impl(values, [](std::int64_t v) {
+  return from_shared(stats::summarize(values, [](std::int64_t v) {
     return std::abs(static_cast<double>(v));
-  });
+  }));
 }
 
 double percentile(std::vector<double> values, double p) {
   CHOIR_EXPECT(!values.empty(), "percentile of empty set");
   CHOIR_EXPECT(p >= 0.0 && p <= 100.0, "percentile out of range");
   std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return stats::percentile_sorted(values, p);
 }
 
 double fraction_within(std::span<const double> values, double threshold) {

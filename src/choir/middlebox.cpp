@@ -45,6 +45,8 @@ Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
         telemetry::counter(base + "recordings_truncated");
     tm_forward_latency_ = telemetry::histogram(base + "forward_latency_ns");
     tm_pacing_error_ = telemetry::histogram(base + "pacing_error_ns");
+    tm_replay_slack_ = telemetry::histogram(base + "replay_slack_ns");
+    tm_replay_overshoot_ = telemetry::histogram(base + "replay_overshoot_ns");
     tm_track_ = telemetry::track(middlebox_label(config_));
   }
 }
@@ -240,6 +242,17 @@ void Middlebox::replay_step() {
   // Everything added below (check-loop granularity, slips, a busy
   // previous burst) is pacing error: actual TX minus this scheduled TX.
   replay_target_ns_ = t;
+
+  // Scheduling headroom: positive slack means the loop reached this
+  // burst before its target (healthy pacing); overshoot means the loop
+  // was already past the target when it got here, so the burst leaves
+  // late no matter what the pacer does.
+  const Ns headroom = t - queue_.now();
+  if (headroom >= 0) {
+    tm_replay_slack_.record(headroom);
+  } else {
+    tm_replay_overshoot_.record(-headroom);
+  }
 
   // The transmit loop spins on a TSC read: the burst goes out within one
   // check-loop iteration after its target.

@@ -125,6 +125,8 @@ class Middlebox {
   telemetry::CounterHandle tm_recordings_truncated_;
   telemetry::HistogramHandle tm_forward_latency_;
   telemetry::HistogramHandle tm_pacing_error_;
+  telemetry::HistogramHandle tm_replay_slack_;
+  telemetry::HistogramHandle tm_replay_overshoot_;
   std::uint32_t tm_track_ = 0;
   Ns record_started_at_ = -1;   ///< -1: not recording (for the span)
   Ns replay_started_at_ = 0;

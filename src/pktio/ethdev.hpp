@@ -66,6 +66,7 @@ class EthDev {
       tm_tx_bytes_ = telemetry::counter(base + "tx_bytes");
       tm_tx_bursts_ = telemetry::counter(base + "tx_bursts");
       tm_tx_rejected_ = telemetry::counter(base + "tx_rejected");
+      tm_tx_burst_pkts_ = telemetry::histogram(base + "tx_burst_pkts");
     }
   }
 
@@ -106,6 +107,9 @@ class EthDev {
       if (sent > 0) {
         tm_tx_packets_.add(sent);
         tm_tx_bursts_.add();
+        // Burst-size distribution: small accepted bursts under load mean
+        // the device (not the app) is the bottleneck.
+        tm_tx_burst_pkts_.record(sent);
         std::uint64_t bytes = 0;
         for (std::uint16_t i = 0; i < sent; ++i) {
           bytes += pkts[i]->frame.wire_len;
@@ -135,6 +139,7 @@ class EthDev {
   telemetry::CounterHandle tm_tx_bytes_;
   telemetry::CounterHandle tm_tx_bursts_;
   telemetry::CounterHandle tm_tx_rejected_;
+  telemetry::HistogramHandle tm_tx_burst_pkts_;
 };
 
 }  // namespace choir::pktio

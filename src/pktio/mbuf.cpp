@@ -1,10 +1,14 @@
 #include "pktio/mbuf.hpp"
 
+#include <utility>
+
 #include "common/expect.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::pktio {
 
-Mempool::Mempool(std::size_t capacity) {
+Mempool::Mempool(std::size_t capacity, std::string name)
+    : name_(std::move(name)) {
   CHOIR_EXPECT(capacity > 0, "mempool capacity must be positive");
   storage_.resize(capacity);
   free_.reserve(capacity);
@@ -13,16 +17,23 @@ Mempool::Mempool(std::size_t capacity) {
     storage_[i].pool_index = i;
     free_.push_back(static_cast<std::uint32_t>(capacity - 1 - i));
   }
+  if (!name_.empty() && telemetry::Registry::current() != nullptr) {
+    const std::string base = "pool." + name_ + ".";
+    tm_in_use_hwm_ = telemetry::gauge(base + "in_use_hwm");
+    tm_alloc_failures_ = telemetry::counter(base + "alloc_failures");
+  }
 }
 
 Mbuf* Mempool::alloc() {
   if (fault_ != nullptr && fault_->deny_alloc()) {
     ++alloc_failures_;
     ++denied_allocs_;
+    tm_alloc_failures_.add();
     return nullptr;
   }
   if (free_.empty()) {
     ++alloc_failures_;
+    tm_alloc_failures_.add();
     return nullptr;
   }
   const std::uint32_t idx = free_.back();
@@ -32,6 +43,11 @@ Mbuf* Mempool::alloc() {
   m->rx_timestamp = 0;
   m->port = 0;
   m->refcnt = 1;
+  const std::size_t used = in_use();
+  if (used > in_use_hwm_) {
+    in_use_hwm_ = used;
+    tm_in_use_hwm_.set_max(static_cast<std::int64_t>(used));
+  }
   return m;
 }
 

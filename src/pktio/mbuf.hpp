@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
 #include "pktio/frame.hpp"
+#include "telemetry/metric.hpp"
 
 namespace choir::pktio {
 
@@ -38,10 +40,13 @@ struct Mbuf {
   std::uint32_t pool_index = 0;
 };
 
-/// Fixed-size pre-allocated buffer pool.
+/// Fixed-size pre-allocated buffer pool. A named pool binds watermark
+/// telemetry (`pool.<name>.in_use_hwm`, `pool.<name>.alloc_failures`)
+/// when a session is installed at construction; anonymous pools and
+/// sessionless runs pay only the local high-water bookkeeping.
 class Mempool {
  public:
-  explicit Mempool(std::size_t capacity);
+  explicit Mempool(std::size_t capacity, std::string name = {});
 
   Mempool(const Mempool&) = delete;
   Mempool& operator=(const Mempool&) = delete;
@@ -58,6 +63,10 @@ class Mempool {
   std::size_t capacity() const { return storage_.size(); }
   std::size_t available() const { return free_.size(); }
   std::size_t in_use() const { return capacity() - available(); }
+  /// Largest simultaneous allocation count ever reached (how close the
+  /// pool came to exhaustion; capacity-planning evidence).
+  std::size_t in_use_hwm() const { return in_use_hwm_; }
+  const std::string& name() const { return name_; }
   std::uint64_t alloc_failures() const { return alloc_failures_; }
   /// Failures forced by the fault hook (a subset of alloc_failures()).
   std::uint64_t denied_allocs() const { return denied_allocs_; }
@@ -69,11 +78,15 @@ class Mempool {
   friend struct Mbuf;
   void take_back(Mbuf* m);
 
+  std::string name_;
   std::vector<Mbuf> storage_;
   std::vector<std::uint32_t> free_;
+  std::size_t in_use_hwm_ = 0;
   std::uint64_t alloc_failures_ = 0;
   std::uint64_t denied_allocs_ = 0;
   MempoolFaultHook* fault_ = nullptr;
+  telemetry::GaugeHandle tm_in_use_hwm_;
+  telemetry::CounterHandle tm_alloc_failures_;
 };
 
 }  // namespace choir::pktio

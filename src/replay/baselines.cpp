@@ -26,6 +26,7 @@ void PacedReplayerBase::step() {
   Ns at = emission_time(target);
   at = std::max({at, last_emission_, queue_.now()});
   last_emission_ = at;
+  tm_pacing_delay_.record(at - target);
 
   queue_.schedule_at(at, [this] { emit_from(0); });
 }
@@ -42,17 +43,20 @@ void PacedReplayerBase::emit_from(std::size_t offset) {
     }
     const std::uint16_t sent = out_dev_.tx_burst(pkts, chunk);
     stats_.packets += sent;
+    if (sent > 0) tm_packets_.add(sent);
     for (std::uint16_t i = sent; i < chunk; ++i) {
       pktio::Mempool::release(pkts[i]);
     }
     offset += sent;
     if (sent < chunk) {
       // Full descriptor ring: retry the remainder when slots free up.
+      tm_tx_retries_.add();
       queue_.schedule_in(200, [this, offset] { emit_from(offset); });
       return;
     }
   }
   ++stats_.bursts;
+  tm_bursts_.add();
   if (++cursor_ < recording_.burst_count()) {
     step();
   } else {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "choir/recording.hpp"
 #include "common/rng.hpp"
@@ -21,6 +22,7 @@
 #include "pktio/ethdev.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace choir::replay {
 
@@ -35,9 +37,17 @@ struct ReplayStats {
 class PacedReplayerBase {
  public:
   PacedReplayerBase(sim::EventQueue& queue, sim::NodeClock& clock,
-                    net::Vf& out, const app::Recording& recording)
-      : queue_(queue), clock_(clock), out_dev_("baseline-out", out),
-        recording_(recording) {}
+                    net::Vf& out, const app::Recording& recording,
+                    const std::string& label = "replay.baseline")
+      : queue_(queue), clock_(clock), out_dev_(label + "-out", out),
+        recording_(recording) {
+    if (telemetry::Registry::current() != nullptr) {
+      tm_bursts_ = telemetry::counter(label + ".replayed_bursts");
+      tm_packets_ = telemetry::counter(label + ".replayed_packets");
+      tm_tx_retries_ = telemetry::counter(label + ".tx_retries");
+      tm_pacing_delay_ = telemetry::histogram(label + ".pacing_delay_ns");
+    }
+  }
   virtual ~PacedReplayerBase() = default;
 
   /// Replay so that the first burst targets wall-clock `wall_start`.
@@ -66,6 +76,12 @@ class PacedReplayerBase {
   std::uint64_t first_tsc_ = 0;
   Ns last_emission_ = 0;
   ReplayStats stats_;
+  telemetry::CounterHandle tm_bursts_;
+  telemetry::CounterHandle tm_packets_;
+  telemetry::CounterHandle tm_tx_retries_;
+  /// Emission minus ideal target: how far the pacing policy itself
+  /// pushes each burst off the recorded timeline.
+  telemetry::HistogramHandle tm_pacing_delay_;
 };
 
 /// tcpreplay-style sleeping replayer.
@@ -79,7 +95,7 @@ class SleepReplayer : public PacedReplayerBase {
 
   SleepReplayer(sim::EventQueue& queue, sim::NodeClock& clock, net::Vf& out,
                 const app::Recording& recording, Config config, Rng rng)
-      : PacedReplayerBase(queue, clock, out, recording),
+      : PacedReplayerBase(queue, clock, out, recording, "replay.sleep"),
         config_(config), rng_(rng.split(0x534c)) {}
 
  protected:
@@ -109,7 +125,7 @@ class BusyWaitReplayer : public PacedReplayerBase {
   BusyWaitReplayer(sim::EventQueue& queue, sim::NodeClock& clock,
                    net::Vf& out, const app::Recording& recording,
                    Config config, Rng rng)
-      : PacedReplayerBase(queue, clock, out, recording),
+      : PacedReplayerBase(queue, clock, out, recording, "replay.busywait"),
         config_(config), rng_(rng.split(0x4257)) {}
 
  protected:

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "common/stats.hpp"
+
 namespace choir::telemetry {
 
 std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
@@ -32,14 +34,13 @@ std::uint64_t LatencyHistogram::bucket_width(std::size_t i) {
 
 Ns LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
-  const double clamped = std::isnan(p) ? 0.0 : std::clamp(p, 0.0, 100.0);
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
-  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  // Shared rank convention (common/stats.hpp): ceil(p/100 * count),
+  // clamped to [1, count], NaN as 0.
+  const std::uint64_t rank = stats::percentile_rank(p, count_);
   // The extreme ranks are the exactly-tracked envelope; return them
   // directly rather than a bucket midpoint (makes p0/p100 and the
   // single-sample case exact).
-  if (rank == 1 && clamped == 0.0) return min_;
+  if (rank == 1 && !(p > 0.0)) return min_;
   if (rank == count_) return max_;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBucketCount; ++i) {

@@ -1,0 +1,232 @@
+#include "testbed/bench_suite.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "testbed/scale.hpp"
+
+namespace choir::testbed {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* engine_tag(ReplayEngine engine) {
+  switch (engine) {
+    case ReplayEngine::kChoir:
+      return "choir";
+    case ReplayEngine::kSleep:
+      return "sleep";
+    case ReplayEngine::kBusyWait:
+      return "busywait";
+    case ReplayEngine::kGapFill:
+      return "gapfill";
+  }
+  return "?";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHOIR_EXPECT(in.good(), "cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ExperimentConfig suite_config(EnvironmentPreset preset, std::uint64_t packets,
+                              int runs, std::uint64_t seed,
+                              ReplayEngine engine = ReplayEngine::kChoir) {
+  ExperimentConfig cfg;
+  cfg.env = std::move(preset);
+  cfg.packets = packets;
+  cfg.runs = runs;
+  cfg.seed = seed;
+  cfg.collect_series = true;  // iat_within_10ns needs the delta series
+  cfg.keep_captures = false;
+  cfg.engine = engine;
+  return cfg;
+}
+
+analysis::BenchReport run_quick_suite() {
+  // Two environments the paper leads with, small enough for a CI gate.
+  analysis::BenchReport report;
+  report.name = "quick";
+  report.suite = "quick";
+  report.scale_packets = 20'000;
+  std::uint64_t seed = 2025;
+  for (const auto& preset : {local_single(), local_dual()}) {
+    const auto cfg = suite_config(preset, report.scale_packets, 3, seed++);
+    report.cases.push_back(make_bench_case(cfg, run_experiment(cfg)));
+  }
+  return report;
+}
+
+analysis::BenchReport run_engines_suite() {
+  // Section 9 ablation at fixed scale: one case per replay engine.
+  analysis::BenchReport report;
+  report.name = "engines";
+  report.suite = "engines";
+  report.scale_packets = 16'000;
+  for (const auto engine :
+       {ReplayEngine::kChoir, ReplayEngine::kBusyWait, ReplayEngine::kSleep,
+        ReplayEngine::kGapFill}) {
+    const auto cfg =
+        suite_config(local_single(), report.scale_packets, 3, 99, engine);
+    report.cases.push_back(make_bench_case(
+        cfg, run_experiment(cfg),
+        cfg.env.name + "+" + engine_tag(engine)));
+  }
+  return report;
+}
+
+analysis::BenchReport run_environments_suite() {
+  // Every Table 2 environment at a reduced, shape-preserving scale.
+  analysis::BenchReport report;
+  report.name = "environments";
+  report.suite = "environments";
+  report.scale_packets = 40'000;
+  std::uint64_t seed = 2025;
+  for (const auto& preset : all_presets()) {
+    const auto cfg = suite_config(preset, report.scale_packets, 5, seed++);
+    report.cases.push_back(make_bench_case(cfg, run_experiment(cfg)));
+  }
+  return report;
+}
+
+}  // namespace
+
+analysis::BenchCase make_bench_case(const ExperimentConfig& config,
+                                    const ExperimentResult& result,
+                                    const std::string& case_name) {
+  analysis::BenchCase c;
+  c.env = case_name.empty() ? config.env.name : case_name;
+  c.seed = config.seed;
+  c.packets = config.packets;
+  c.runs = config.runs;
+  c.rate_gbps = config.env.rate / 1e9;
+  c.frame_bytes = config.env.frame_bytes;
+  c.replayers = config.env.replayers;
+
+  const double trial_s = to_seconds(result.trial_duration);
+  c.trial_ms = trial_s * 1e3;
+  c.recorded_packets = result.recorded_packets;
+  if (trial_s > 0.0) {
+    const double pkts = static_cast<double>(result.recorded_packets);
+    c.throughput_gbps =
+        pkts * static_cast<double>(config.env.frame_bytes) * 8.0 / trial_s /
+        1e9;
+    c.throughput_mpps = pkts / trial_s / 1e6;
+  }
+  c.recorder_rx_drops = result.recorder_rx_drops;
+  c.replay_tx_drops = result.replay_tx_drops;
+  c.mean = result.mean;
+
+  char label[2] = "B";
+  for (std::size_t i = 0; i < result.comparisons.size(); ++i) {
+    const auto& cmp = result.comparisons[i];
+    analysis::BenchRunRow row;
+    row.label = label;
+    ++label[0];
+    row.metrics = cmp.metrics;
+    row.iat_within_10ns = cmp.fraction_iat_within(10.0);
+    // capture_sizes[0] is run A; comparisons start at run B.
+    if (i + 1 < result.capture_sizes.size()) {
+      row.capture_size = result.capture_sizes[i + 1];
+    }
+    c.run_rows.push_back(std::move(row));
+  }
+
+  c.counters.emplace_back("recorder_imissed",
+                          static_cast<double>(result.recorder_imissed));
+  c.counters.emplace_back("switch_queue_drops",
+                          static_cast<double>(result.switch_queue_drops));
+  c.counters.emplace_back("control_retries",
+                          static_cast<double>(result.control_retries));
+  return c;
+}
+
+analysis::BenchReport make_bench_report(const std::string& name,
+                                        const std::string& suite) {
+  analysis::BenchReport report;
+  report.name = name;
+  report.suite = suite;
+  report.scale_packets = scale_from_env();
+  report.choir_full = std::getenv("CHOIR_FULL") != nullptr &&
+                      std::string(std::getenv("CHOIR_FULL")) == "1";
+  if (const char* s = std::getenv("CHOIR_SCALE")) {
+    report.has_choir_scale = true;
+    report.choir_scale = std::strtoull(s, nullptr, 10);
+  }
+  return report;
+}
+
+const std::vector<BenchSuiteInfo>& bench_suites() {
+  static const std::vector<BenchSuiteInfo> kSuites = {
+      {"quick", "local single + dual replayer, 20k packets (CI gate)"},
+      {"engines", "replay-engine ablation on local single, 16k packets"},
+      {"environments", "all Table 2 environments, 40k packets"},
+  };
+  return kSuites;
+}
+
+std::vector<std::string> run_bench_suite(const std::string& suite,
+                                         const std::string& out_dir) {
+  analysis::BenchReport report;
+  if (suite == "quick") {
+    report = run_quick_suite();
+  } else if (suite == "engines") {
+    report = run_engines_suite();
+  } else if (suite == "environments") {
+    report = run_environments_suite();
+  } else {
+    throw Error("unknown bench suite: " + suite);
+  }
+  fs::create_directories(out_dir);
+  const std::string file = "BENCH_" + report.name + ".json";
+  analysis::write_json(report, (fs::path(out_dir) / file).string());
+  return {file};
+}
+
+int compare_bench_dirs(const std::string& baseline_dir,
+                       const std::string& current_dir, double tolerance_pct,
+                       std::string* out_text) {
+  CHOIR_EXPECT(fs::is_directory(baseline_dir),
+               "baseline directory not found: " + baseline_dir);
+  analysis::CompareOptions options;
+  if (tolerance_pct >= 0.0) options.sim_tolerance_pct = tolerance_pct;
+
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  CHOIR_EXPECT(!files.empty(),
+               "no BENCH_*.json files in baseline: " + baseline_dir);
+
+  int regressions = 0;
+  for (const std::string& file : files) {
+    const fs::path current_path = fs::path(current_dir) / file;
+    *out_text += "== " + file + " ==\n";
+    if (!fs::exists(current_path)) {
+      *out_text += "  MISSING: no current result for this baseline\n";
+      ++regressions;
+      continue;
+    }
+    const auto baseline =
+        json::parse(read_file((fs::path(baseline_dir) / file).string()));
+    const auto current = json::parse(read_file(current_path.string()));
+    const auto result = analysis::compare_reports(baseline, current, options);
+    *out_text += analysis::render_compare(result);
+    regressions += static_cast<int>(result.regressions);
+  }
+  return regressions;
+}
+
+}  // namespace choir::testbed

@@ -1,0 +1,54 @@
+// Named benchmark suites and the BENCH_*.json production/compare layer
+// behind `choirctl bench` and the bench_* binaries' --json flag.
+//
+// A suite is a fixed list of experiment configurations with pinned
+// packet counts and seeds — deliberately independent of CHOIR_SCALE /
+// CHOIR_FULL — so a BENCH_*.json produced on any machine is comparable
+// byte-for-byte against the committed baselines in bench/baselines/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/bench_report.hpp"
+#include "testbed/experiment.hpp"
+
+namespace choir::testbed {
+
+/// Convert one finished experiment into a report case. Pulls only
+/// simulated-timeline quantities; nothing host-timed.
+analysis::BenchCase make_bench_case(const ExperimentConfig& config,
+                                    const ExperimentResult& result,
+                                    const std::string& case_name = {});
+
+/// Report skeleton with scale stamped from the environment variables
+/// (what the bench_* binaries ran at). Suite reports pin their own
+/// packet counts instead — see run_bench_suite.
+analysis::BenchReport make_bench_report(const std::string& name,
+                                        const std::string& suite = {});
+
+struct BenchSuiteInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Suites available to `choirctl bench` (and documented in
+/// docs/BENCHMARKS.md).
+const std::vector<BenchSuiteInfo>& bench_suites();
+
+/// Run a named suite and write its BENCH_<name>.json files into
+/// `out_dir` (created if missing). Returns the file names written
+/// (relative to out_dir). Throws choir::Error on an unknown suite.
+std::vector<std::string> run_bench_suite(const std::string& suite,
+                                         const std::string& out_dir);
+
+/// Compare every BENCH_*.json present in `baseline_dir` against its
+/// namesake in `current_dir` (a missing file counts as a regression).
+/// Appends a human-readable account to *out_text and returns the total
+/// regression count (0 == gate passes). `tolerance_pct` overrides the
+/// simulated-metric band when >= 0.
+int compare_bench_dirs(const std::string& baseline_dir,
+                       const std::string& current_dir, double tolerance_pct,
+                       std::string* out_text);
+
+}  // namespace choir::testbed

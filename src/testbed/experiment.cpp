@@ -273,12 +273,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         prng.split(4));
     p.middlebox->start();
 
-    p.ctl_pool = std::make_unique<pktio::Mempool>(64);
+    p.ctl_pool =
+        std::make_unique<pktio::Mempool>(64, "ctl" + std::to_string(i));
     p.controller = std::make_unique<app::Controller>(queue, gen_clock,
                                                      *p.ctl_vf, *p.ctl_pool);
     p.controller->set_retry(env.control_retry);
 
-    p.gen_pool = std::make_unique<pktio::Mempool>(per_stream + 8192);
+    p.gen_pool = std::make_unique<pktio::Mempool>(per_stream + 8192,
+                                                  "gen" + std::to_string(i));
     gen::StreamConfig stream;
     stream.flow = flow_between(gen_id, kRecorder);
     stream.stream_id = static_cast<std::uint32_t>(i);
@@ -299,7 +301,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<net::PhysNic> noise_phys_b;
   std::unique_ptr<trace::CaptureDaemon> noise_server;
   if (env.with_noise) {
-    noise_pool = std::make_unique<pktio::Mempool>(16384);
+    noise_pool = std::make_unique<pktio::Mempool>(16384, "noise");
     net::Vf* client_vf = nullptr;
     net::Vf* sink_vf = nullptr;
     if (env.noise_shares_path) {

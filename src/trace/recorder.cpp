@@ -24,10 +24,12 @@ bool CaptureDaemon::drain() {
   telemetry::ProfileSpan prof("record.drain");
   pktio::Mbuf* burst[pktio::kMaxBurst];
   bool worked = false;
+  std::uint64_t drained = 0;
   for (;;) {
     const std::uint16_t n = dev_.rx_burst(burst, pktio::kMaxBurst);
     if (n == 0) break;
     worked = true;
+    drained += n;
     for (std::uint16_t i = 0; i < n; ++i) {
       pktio::Mbuf* m = burst[i];
       if (active_ != nullptr) {
@@ -47,6 +49,10 @@ bool CaptureDaemon::drain() {
     }
     if (n < pktio::kMaxBurst) break;
   }
+  // One sample per productive drain: how much work each poll finds is
+  // the recorder's keep-up margin (consistently near ring capacity
+  // means the poll cadence, not the copy path, is the limit).
+  if (worked) tm_drain_batch_pkts_.record(drained);
   return worked;
 }
 

@@ -30,6 +30,7 @@ class CaptureDaemon {
         loop_(queue, vf, poll, rng, label),
         tm_recorded_(telemetry::counter(label + ".captured")),
         tm_discarded_(telemetry::counter(label + ".discarded")),
+        tm_drain_batch_pkts_(telemetry::histogram(label + ".drain_batch_pkts")),
         tm_track_(telemetry::track(label)),
         monitor_(monitor::current()) {
     loop_.set_handler([this] { return drain(); });
@@ -56,6 +57,7 @@ class CaptureDaemon {
   std::uint64_t recorded_ = 0;
   telemetry::CounterHandle tm_recorded_;
   telemetry::CounterHandle tm_discarded_;
+  telemetry::HistogramHandle tm_drain_batch_pkts_;
   std::uint32_t tm_track_ = 0;
   /// Streaming monitor feed, bound at construction (telemetry hook
   /// style): null when no monitor session is installed, in which case

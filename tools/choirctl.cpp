@@ -9,6 +9,9 @@
 //   stats <dir>               summarize previously written telemetry artifacts
 //   monitor <env> [opts]      run with the streaming monitor, print windows
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
+//   bench                     list benchmark suites
+//   bench <suite> [opts]      run a suite, write BENCH_*.json artifacts
+//   bench --compare A B       diff two BENCH_*.json directories
 //
 // Options:
 //   --packets N    packets per trial (default: CHOIR_SCALE or 120000)
@@ -38,6 +41,7 @@
 #include "analysis/histogram.hpp"
 #include "analysis/report.hpp"
 #include "core/weighted_kappa.hpp"
+#include "testbed/bench_suite.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scale.hpp"
 #include "trace/pcap.hpp"
@@ -60,6 +64,13 @@ int usage() {
       "  monitor <env> [opts]          run with the streaming monitor\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
+      "  bench                         list benchmark suites\n"
+      "  bench <suite> [--out DIR] [--compare BASELINE] [--tolerance PCT]\n"
+      "                                run a suite, write BENCH_*.json;\n"
+      "                                with --compare, gate against the\n"
+      "                                baseline dir (exit 1 on regression)\n"
+      "  bench --compare A B [--tolerance PCT]\n"
+      "                                diff two BENCH_*.json directories\n"
       "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
       "choir|sleep|busywait|gapfill  --telemetry DIR\n"
       "         --monitor DIR  --window-packets N  --top-k N  --windows  "
@@ -424,6 +435,65 @@ int cmd_compare(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `bench` — the machine-readable benchmark harness front end.
+///
+///   bench                                  list suites
+///   bench <suite> [--out DIR]              run, write BENCH_*.json
+///                 [--compare BASELINE]     ... then gate against BASELINE
+///                 [--tolerance PCT]        sim-metric band override
+///   bench --compare A B [--tolerance PCT]  diff two artifact directories
+///
+/// Exits 0 when every compared metric is inside its band, 1 when any
+/// simulated metric regressed (host.* metrics are report-only).
+int cmd_bench(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::printf("suites:\n");
+    for (const auto& suite : testbed::bench_suites()) {
+      std::printf("  %-14s %s\n", suite.name.c_str(),
+                  suite.description.c_str());
+    }
+    return 0;
+  }
+  std::string suite;
+  std::string out_dir = "bench_out";
+  std::vector<std::string> compare_dirs;
+  double tolerance_pct = -1.0;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--out" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else if (arg == "--compare" && i + 1 < args.size()) {
+      compare_dirs.push_back(args[++i]);
+      // The pure-diff form takes the current dir as a second operand.
+      if (suite.empty() && i + 1 < args.size() && args[i + 1][0] != '-') {
+        compare_dirs.push_back(args[++i]);
+      }
+    } else if (arg == "--tolerance" && i + 1 < args.size()) {
+      tolerance_pct = std::strtod(args[++i].c_str(), nullptr);
+    } else if (!arg.empty() && arg[0] != '-' && suite.empty()) {
+      suite = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (suite.empty() && compare_dirs.size() != 2) return usage();
+  if (!suite.empty() && compare_dirs.size() > 1) return usage();
+
+  if (!suite.empty()) {
+    const auto written = testbed::run_bench_suite(suite, out_dir);
+    for (const auto& name : written) {
+      std::printf("wrote %s/%s\n", out_dir.c_str(), name.c_str());
+    }
+    if (compare_dirs.empty()) return 0;
+    compare_dirs.push_back(out_dir);  // baseline, current
+  }
+  std::string text;
+  const int regressions = testbed::compare_bench_dirs(
+      compare_dirs[0], compare_dirs[1], tolerance_pct, &text);
+  std::fputs(text.c_str(), stdout);
+  return regressions > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,6 +508,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "monitor") return cmd_monitor(args);
     if (command == "compare") return cmd_compare(args);
+    if (command == "bench") return cmd_bench(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "choirctl: %s\n", error.what());
     return 1;
