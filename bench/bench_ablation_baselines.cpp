@@ -37,21 +37,32 @@ const char* engine_tag(testbed::ReplayEngine engine) {
   return "?";
 }
 
+constexpr testbed::ReplayEngine kEngines[] = {
+    testbed::ReplayEngine::kChoir, testbed::ReplayEngine::kBusyWait,
+    testbed::ReplayEngine::kSleep, testbed::ReplayEngine::kGapFill};
+
 void run_matrix(const testbed::EnvironmentPreset& preset,
-                const char* title, bench::Reporter& reporter) {
+                const char* title, bench::Reporter& reporter, int jobs) {
   std::printf("=== Ablation: replay engines on %s ===\n", title);
   analysis::TextTable table(
       {"Engine", "U", "O", "I", "L", "kappa", "IAT +-10ns", "drops"});
-  for (const auto engine :
-       {testbed::ReplayEngine::kChoir, testbed::ReplayEngine::kBusyWait,
-        testbed::ReplayEngine::kSleep, testbed::ReplayEngine::kGapFill}) {
+  // One independent experiment per engine; fan them across workers and
+  // report in engine order (byte-identical output at any --jobs value).
+  std::vector<testbed::ExperimentConfig> configs;
+  for (const auto engine : kEngines) {
     testbed::ExperimentConfig cfg;
     cfg.env = preset;
     cfg.packets = testbed::scale_from_env() / 2;
     cfg.runs = 4;
     cfg.seed = 99;
     cfg.engine = engine;
-    const auto result = run_experiment(cfg);
+    configs.push_back(std::move(cfg));
+  }
+  const auto results = bench::run_configs(configs, jobs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto engine = kEngines[i];
+    const auto& cfg = configs[i];
+    const auto& result = results[i];
     reporter.add_case(cfg, result,
                       cfg.env.name + "+" + engine_tag(engine));
 
@@ -83,10 +94,11 @@ void run_matrix(const testbed::EnvironmentPreset& preset,
 
 int main(int argc, char** argv) {
   bench::Reporter reporter("ablation", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   run_matrix(testbed::fabric_dedicated_80(),
-             "dedicated NICs, quiet (line rate available)", reporter);
+             "dedicated NICs, quiet (line rate available)", reporter, jobs);
   run_matrix(testbed::fabric_shared_40_noisy(),
-             "shared NICs with co-located iperf load", reporter);
+             "shared NICs with co-located iperf load", reporter, jobs);
   reporter.finish();
   return 0;
 }

@@ -6,6 +6,7 @@
 // intensity so the trend, not one seed's packet lottery, is what the
 // table shows. Scale via CHOIR_FULL=1 / CHOIR_SCALE=<n> as usual.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
@@ -14,22 +15,25 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("chaos_sweep", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   const std::uint64_t packets = testbed::scale_from_env() / 2;
   const double intensities[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   const std::uint64_t seeds[] = {2025, 2026, 2027};
+  constexpr std::size_t kSeeds = sizeof(seeds) / sizeof(seeds[0]);
 
   analysis::TextTable table({"Intensity", "kappa", "U", "O", "I", "link",
                              "nic", "mempool", "ctl retries"});
   std::printf("=== chaos sweep: kappa vs fault intensity ===\n");
   std::printf("environment: chaos-single (local single + chaos plan), "
               "%llu packets x 3 runs x %zu seeds per row\n\n",
-              static_cast<unsigned long long>(packets),
-              sizeof(seeds) / sizeof(seeds[0]));
+              static_cast<unsigned long long>(packets), kSeeds);
 
+  // Every (intensity, seed) cell is an independent experiment: fan the
+  // whole 6x3 sweep across workers at once and aggregate per intensity
+  // afterwards, in order — the table and the JSON never depend on --jobs.
+  std::vector<testbed::ExperimentConfig> configs;
+  configs.reserve(sizeof(intensities) / sizeof(intensities[0]) * kSeeds);
   for (const double intensity : intensities) {
-    double kappa = 0, u = 0, o = 0, i_metric = 0;
-    std::uint64_t link = 0, nic = 0, mem = 0, retries = 0;
-    int n = 0;
     for (const std::uint64_t seed : seeds) {
       testbed::ExperimentConfig cfg;
       cfg.env = testbed::chaos_single(intensity);
@@ -37,7 +41,18 @@ int main(int argc, char** argv) {
       cfg.runs = 3;
       cfg.seed = seed;
       cfg.collect_series = false;
-      const auto r = run_experiment(cfg);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = bench::run_configs(configs, jobs);
+
+  std::size_t cell = 0;
+  for (const double intensity : intensities) {
+    double kappa = 0, u = 0, o = 0, i_metric = 0;
+    std::uint64_t link = 0, nic = 0, mem = 0, retries = 0;
+    int n = 0;
+    for (const std::uint64_t seed : seeds) {
+      const auto& r = results[cell++];
       kappa += r.mean.kappa;
       u += r.mean.uniqueness;
       o += r.mean.ordering;

@@ -10,6 +10,7 @@
 
 #include "analysis/histogram.hpp"
 #include "analysis/report.hpp"
+#include "common/task_pool.hpp"
 #include "testbed/scale.hpp"
 
 namespace choir::bench {
@@ -129,6 +130,32 @@ std::string json_path_from_args(const std::string& name, int* argc,
     }
   }
   return path;
+}
+
+int jobs_from_args(int* argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < *argc) {
+      jobs = std::atoi(argv[i + 1]);
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      break;
+    }
+  }
+  return jobs;
+}
+
+std::vector<testbed::ExperimentResult> run_configs(
+    const std::vector<testbed::ExperimentConfig>& configs, int jobs) {
+  // Each config is an independent seeded simulation; the suite-level
+  // fan-out owns the workers and each experiment's own κ evaluation
+  // degrades to inline on them (see common/task_pool.hpp).
+  return parallel_map_indexed<testbed::ExperimentResult>(
+      jobs, configs.size(), [&configs, jobs](std::size_t i) {
+        testbed::ExperimentConfig cfg = configs[i];
+        cfg.eval_jobs = jobs;
+        return testbed::run_experiment(cfg);
+      });
 }
 
 Reporter::Reporter(const std::string& name, int* argc, char** argv)

@@ -55,6 +55,17 @@ std::vector<std::string> table2_row(const std::string& name,
 std::string json_path_from_args(const std::string& name, int* argc,
                                 char** argv);
 
+/// Resolve (and strip) a `--jobs N` flag. Returns 0 (auto: CHOIR_JOBS,
+/// else hardware concurrency — see choir::resolve_jobs) when absent.
+int jobs_from_args(int* argc, char** argv);
+
+/// Run several independent experiment configurations, fanned across a
+/// task pool (`jobs` as in choirctl: 0 = auto, 1 = sequential). Results
+/// land in config order regardless of completion order, so every report
+/// built from them is byte-identical at any job count.
+std::vector<testbed::ExperimentResult> run_configs(
+    const std::vector<testbed::ExperimentConfig>& configs, int jobs = 0);
+
 /// Machine-readable twin of a bench binary's text output.
 ///
 ///   bench::Reporter reporter("fig4", argc, argv);

@@ -10,6 +10,7 @@
 //  - range-equalized: inverse-range weights, letting L and U move the
 //    score as much as I does across their observed ranges.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
@@ -19,17 +20,28 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("kappa_scaling", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   analysis::TextTable table({"Environment", "kappa (Eq.5)",
                              "presence-sensitive", "range-equalized"});
+  // One independent experiment per environment; fan them across workers
+  // and post-process in preset order (output independent of --jobs).
+  const auto presets = testbed::all_presets();
+  std::vector<testbed::ExperimentConfig> configs;
+  configs.reserve(presets.size());
   std::uint64_t seed = 4242;
-  for (const auto& preset : testbed::all_presets()) {
+  for (const auto& preset : presets) {
     testbed::ExperimentConfig cfg;
     cfg.env = preset;
     cfg.packets = testbed::scale_from_env() / 2;
     cfg.runs = 5;
     cfg.seed = seed++;
     cfg.collect_series = false;
-    const auto result = run_experiment(cfg);
+    configs.push_back(std::move(cfg));
+  }
+  const auto results = bench::run_configs(configs, jobs);
+  for (std::size_t p = 0; p < presets.size(); ++p) {
+    const auto& preset = presets[p];
+    const auto& result = results[p];
 
     auto mean_scaled = [&](const core::KappaScaling& scaling) {
       double sum = 0;

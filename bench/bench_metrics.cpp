@@ -90,6 +90,25 @@ void BM_CompareTrialsReordered(benchmark::State& state) {
 }
 BENCHMARK(BM_CompareTrialsReordered)->Range(1 << 12, 1 << 18);
 
+void BM_RebaseTrial(benchmark::State& state) {
+  // Time normalization runs once per capture ahead of every comparison.
+  // It used to copy the whole packet vector and subtract per element;
+  // Trial::shift_times is one in-place pass. Alternate +/- shifts keep
+  // timestamps bounded across iterations.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  core::Trial t = random_trial(rng, n, 15.0, 0);
+  Ns delta = 7;
+  for (auto _ : state) {
+    t.shift_times(delta);
+    benchmark::DoNotOptimize(t.packets().data());
+    delta = -delta;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RebaseTrial)->Range(1 << 12, 1 << 20);
+
 void BM_CompareTrialsWithSeries(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(5);

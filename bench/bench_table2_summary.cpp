@@ -2,21 +2,39 @@
 // the order the paper presents them. This is the headline reproduction:
 // who is more consistent, and by roughly how much.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
+#include "testbed/scale.hpp"
 
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("table2", &argc, argv);
-  analysis::TextTable table({"Environment", "U", "O", "I", "L", "kappa"});
+  const int jobs = bench::jobs_from_args(&argc, argv);
+
+  // One independent experiment per environment; fan them across workers
+  // and report in preset order (the table and the JSON are byte-identical
+  // at any --jobs value).
+  const auto presets = testbed::all_presets();
+  std::vector<testbed::ExperimentConfig> configs;
+  configs.reserve(presets.size());
   std::uint64_t seed = 2025;
-  for (const auto& preset : testbed::all_presets()) {
-    const auto result = bench::run_env(preset, seed);
-    table.add_row(bench::table2_row(preset.name, result));
-    reporter.add_env(preset, result, seed);
-    ++seed;
-    std::fprintf(stderr, "done: %s\n", preset.name.c_str());
+  for (const auto& preset : presets) {
+    testbed::ExperimentConfig cfg;  // mirror bench::run_env()
+    cfg.env = preset;
+    cfg.packets = testbed::scale_from_env();
+    cfg.runs = 5;
+    cfg.seed = seed++;
+    configs.push_back(std::move(cfg));
+  }
+  const auto results = bench::run_configs(configs, jobs);
+
+  analysis::TextTable table({"Environment", "U", "O", "I", "L", "kappa"});
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    table.add_row(bench::table2_row(presets[i].name, results[i]));
+    reporter.add_env(presets[i], results[i], configs[i].seed);
+    std::fprintf(stderr, "done: %s\n", presets[i].name.c_str());
   }
   reporter.finish();
   std::printf("=== Table 2 — mean Section 3 metrics per environment ===\n");

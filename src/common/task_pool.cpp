@@ -1,0 +1,123 @@
+#include "common/task_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/expect.hpp"
+
+namespace choir {
+
+namespace {
+
+// Set for the lifetime of a worker thread, by the worker itself. Spans
+// every pool: the nested-submission guard must trip even when the inner
+// pool is a different instance than the one owning the current thread.
+thread_local bool g_on_worker = false;
+
+}  // namespace
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CHOIR_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool will_fan_out(int jobs, std::size_t tasks) {
+  return tasks > 1 && resolve_jobs(jobs) > 1 && !TaskPool::on_worker_thread();
+}
+
+bool TaskPool::on_worker_thread() { return g_on_worker; }
+
+TaskPool::TaskPool(int jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ <= 1) return;  // inline mode: no threads
+  workers_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TaskPool::worker_loop() {
+  g_on_worker = true;
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      item.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr) errors_.emplace_back(item.index, error);
+      ++completed_;
+      if (completed_ == submitted_) cv_idle_.notify_all();
+    }
+  }
+}
+
+std::size_t TaskPool::submit(std::function<void()> task) {
+  if (on_worker_thread()) {
+    throw Error(
+        "TaskPool::submit from a worker thread: nested fan-out can "
+        "deadlock a fixed pool (parallel_for_indexed runs inline on "
+        "workers instead)");
+  }
+  if (jobs_ <= 1) {
+    // Inline mode is the sequential path: run now, on this thread, and
+    // let a failure propagate from the call site like any plain loop.
+    const std::size_t index = submitted_++;
+    try {
+      task();
+    } catch (...) {
+      ++completed_;
+      throw;
+    }
+    ++completed_;
+    return index;
+  }
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = submitted_++;
+    queue_.push_back(Item{index, std::move(task)});
+  }
+  cv_work_.notify_one();
+  return index;
+}
+
+void TaskPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return completed_ == submitted_; });
+  if (errors_.empty()) return;
+  // Deterministic failure selection: the lowest submission index wins,
+  // independent of which worker hit its exception first.
+  auto first = std::min_element(
+      errors_.begin(), errors_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::exception_ptr error = first->second;
+  errors_.clear();
+  lock.unlock();
+  std::rethrow_exception(error);
+}
+
+}  // namespace choir

@@ -4,6 +4,16 @@
 
 namespace choir::core {
 
+void Trial::shift_times(Ns delta) {
+  if (delta == 0) return;
+  for (auto& p : packets_) p.time += delta;
+}
+
+void Trial::rebase_to_zero() {
+  if (packets_.empty()) return;
+  shift_times(-first_time());
+}
+
 std::size_t Trial::make_occurrences_unique() {
   std::unordered_map<PacketId, std::uint64_t, PacketIdHash> counts;
   counts.reserve(packets_.size());

@@ -75,6 +75,17 @@ class Trial {
   Ns last_time() const { return packets_.back().time; }
   Ns duration() const { return last_time() - first_time(); }
 
+  /// Shift every timestamp by `delta`, in place and in one pass. This is
+  /// the time normalization run once per capture ahead of every
+  /// comparison; it used to copy the whole packet vector and subtract
+  /// per element, which at paper scale (~1.05 M packets per run) was a
+  /// measurable slice of the evaluation (see bench_metrics).
+  void shift_times(Ns delta);
+
+  /// Rebase so the first packet arrives at time 0 (the paper evaluates
+  /// each capture on its own timebase). No-op on an empty trial.
+  void rebase_to_zero();
+
   /// Rewrite duplicate ids as (id, occurrence#) so every packet is unique,
   /// per Section 3's ordering construction. Stable: k-th duplicate gets
   /// occurrence k. Returns the number of packets rewritten.

@@ -3,7 +3,10 @@
 namespace choir::monitor {
 
 namespace {
-StreamMonitor* g_monitor = nullptr;
+// Thread-local for the same reason as the telemetry session: two
+// experiments on different task-pool workers must be able to run with
+// independent monitors (or none) without seeing each other's install.
+thread_local StreamMonitor* g_monitor = nullptr;
 }  // namespace
 
 StreamMonitor* current() { return g_monitor; }

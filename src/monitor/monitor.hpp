@@ -20,8 +20,10 @@
 
 namespace choir::monitor {
 
-/// RAII installer of the process-wide current monitor. Sessions nest;
-/// destruction restores the previous monitor.
+/// RAII installer of the current monitor. Thread-local, like
+/// telemetry::ScopedTelemetry: only the installing thread's components
+/// bind the feed, so concurrent experiments stay isolated. Sessions
+/// nest; destruction restores the previous monitor.
 class ScopedMonitor {
  public:
   explicit ScopedMonitor(StreamMonitor* monitor);

@@ -188,12 +188,7 @@ void StreamMonitor::flush_telemetry() {
 
 void StreamMonitor::install_reference(core::Trial reference) {
   reference.make_occurrences_unique();
-  if (!reference.empty()) {
-    const Ns t0 = reference.first_time();
-    std::vector<core::TrialPacket> rebased(reference.packets());
-    for (auto& p : rebased) p.time -= t0;
-    reference = core::Trial(std::move(rebased));
-  }
+  reference.rebase_to_zero();
   id_table_.rebuild(reference);
   fenwick_.assign(reference.size() + 1, 0);
   reference_ = std::move(reference);
@@ -320,13 +315,10 @@ void StreamMonitor::update_running(Ns) {
 core::Trial StreamMonitor::slice_trial(
     const std::vector<core::TrialPacket>& packets, std::size_t begin,
     std::size_t end) const {
-  std::vector<core::TrialPacket> slice(packets.begin() + begin,
-                                       packets.begin() + end);
-  if (!slice.empty()) {
-    const Ns t0 = slice.front().time;
-    for (auto& p : slice) p.time -= t0;
-  }
-  return core::Trial(std::move(slice));
+  core::Trial slice(std::vector<core::TrialPacket>(packets.begin() + begin,
+                                                   packets.begin() + end));
+  slice.rebase_to_zero();
+  return slice;
 }
 
 void StreamMonitor::close_window(bool) {

@@ -80,6 +80,21 @@ class LatencyHistogram {
     return s;
   }
 
+  /// Fold another histogram's samples into this one. Bucket counts, the
+  /// total, the mean's running sum, and the exact min/max envelope all
+  /// merge losslessly, so a merged histogram reports exactly what one
+  /// histogram fed every sample would have.
+  void merge_from(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   const std::array<std::uint64_t, kBucketCount>& buckets() const {
     return counts_;
   }

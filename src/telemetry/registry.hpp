@@ -1,4 +1,4 @@
-// Registry: the process-wide namespace of telemetry instruments.
+// Registry: the namespace of one telemetry session's instruments.
 //
 // Instruments are get-or-create by name; names are dotted paths
 // (`port.choir-out.0.tx_packets`). Storage is a std::map so pointers to
@@ -6,10 +6,15 @@
 // this) and iteration — hence every snapshot and export — is in sorted
 // name order, keeping all artifacts deterministic.
 //
-// The simulator is single-threaded by design; the registry follows suit
-// and uses no atomics. A registry becomes "current" only through a
-// ScopedTelemetry session (telemetry.hpp); with no session installed all
-// instrumentation in the codebase degrades to null handles.
+// Each simulation is single-threaded by design; the registry follows
+// suit and uses no atomics. A registry becomes "current" only through a
+// ScopedTelemetry session (telemetry.hpp), and the install is
+// thread-local, so concurrently running experiments (one per task-pool
+// worker) each bind their own registry. With no session installed all
+// instrumentation in the codebase degrades to null handles. Worker
+// registries can be folded into an aggregate after the join with
+// merge_from(); merging in submission order keeps the aggregate
+// deterministic.
 #pragma once
 
 #include <cstdint>
@@ -59,8 +64,26 @@ class Registry {
     return s;
   }
 
-  /// The registry installed by the innermost live ScopedTelemetry, or
-  /// nullptr when telemetry is disabled.
+  /// Fold another registry's instruments into this one: counters and
+  /// histograms add sample-exactly; gauges keep the maximum reading
+  /// (they are level/high-water instruments, so max is the only merge
+  /// that never understates). Iteration is in name order and the caller
+  /// merges workers in submission order, so the aggregate is
+  /// deterministic.
+  void merge_from(const Registry& other) {
+    for (const auto& [name, c] : other.counters_) {
+      counters_[name].add(c.value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges_[name].set_max(g.value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      histograms_[name].merge_from(h);
+    }
+  }
+
+  /// The registry installed by the innermost live ScopedTelemetry on
+  /// this thread, or nullptr when telemetry is disabled.
   static Registry* current();
 
  private:

@@ -3,8 +3,13 @@
 namespace choir::telemetry {
 
 namespace {
-Registry* g_registry = nullptr;
-Tracer* g_tracer = nullptr;
+// Thread-local, like the span profiler: a session is visible only on
+// the thread that installed it. Concurrent experiments (suite-level
+// task-pool workers) each install their own registry/tracer without
+// sharing mutable observer state; components constructed on a worker
+// bind that worker's session.
+thread_local Registry* g_registry = nullptr;
+thread_local Tracer* g_tracer = nullptr;
 }  // namespace
 
 Registry* Registry::current() { return g_registry; }

@@ -25,9 +25,13 @@
 
 namespace choir::telemetry {
 
-/// RAII installer of the process-wide current registry and tracer.
-/// Sessions nest; destruction restores the previous pair. Either pointer
-/// may be null to leave that instrument disabled.
+/// RAII installer of the current registry and tracer. The installation
+/// is thread-local: only components constructed on the installing thread
+/// bind these instruments, so experiments running concurrently on
+/// task-pool workers each observe their own session and never share
+/// mutable observer state. Sessions nest; destruction restores the
+/// previous pair. Either pointer may be null to leave that instrument
+/// disabled.
 class ScopedTelemetry {
  public:
   ScopedTelemetry(Registry* registry, Tracer* tracer);

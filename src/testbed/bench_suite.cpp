@@ -1,12 +1,15 @@
 #include "testbed/bench_suite.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/expect.hpp"
+#include "common/task_pool.hpp"
 #include "testbed/scale.hpp"
 
 namespace choir::testbed {
@@ -51,50 +54,51 @@ ExperimentConfig suite_config(EnvironmentPreset preset, std::uint64_t packets,
   return cfg;
 }
 
-analysis::BenchReport run_quick_suite() {
+/// One suite entry: a pinned config plus its (optional) display name.
+/// Suites build the whole list up front so the runner can fan the
+/// independent experiments across a TaskPool.
+struct SuiteCase {
+  ExperimentConfig config;
+  std::string case_name;  ///< empty = the environment's name
+};
+
+std::vector<SuiteCase> quick_cases(std::uint64_t packets) {
   // Two environments the paper leads with, small enough for a CI gate.
-  analysis::BenchReport report;
-  report.name = "quick";
-  report.suite = "quick";
-  report.scale_packets = 20'000;
+  std::vector<SuiteCase> cases;
   std::uint64_t seed = 2025;
   for (const auto& preset : {local_single(), local_dual()}) {
-    const auto cfg = suite_config(preset, report.scale_packets, 3, seed++);
-    report.cases.push_back(make_bench_case(cfg, run_experiment(cfg)));
+    cases.push_back({suite_config(preset, packets, 3, seed++), {}});
   }
-  return report;
+  return cases;
 }
 
-analysis::BenchReport run_engines_suite() {
+std::vector<SuiteCase> engines_cases(std::uint64_t packets) {
   // Section 9 ablation at fixed scale: one case per replay engine.
-  analysis::BenchReport report;
-  report.name = "engines";
-  report.suite = "engines";
-  report.scale_packets = 16'000;
+  std::vector<SuiteCase> cases;
   for (const auto engine :
        {ReplayEngine::kChoir, ReplayEngine::kBusyWait, ReplayEngine::kSleep,
         ReplayEngine::kGapFill}) {
-    const auto cfg =
-        suite_config(local_single(), report.scale_packets, 3, 99, engine);
-    report.cases.push_back(make_bench_case(
-        cfg, run_experiment(cfg),
-        cfg.env.name + "+" + engine_tag(engine)));
+    auto cfg = suite_config(local_single(), packets, 3, 99, engine);
+    std::string name = cfg.env.name + "+" + engine_tag(engine);
+    cases.push_back({std::move(cfg), std::move(name)});
   }
-  return report;
+  return cases;
 }
 
-analysis::BenchReport run_environments_suite() {
+std::vector<SuiteCase> environments_cases(std::uint64_t packets) {
   // Every Table 2 environment at a reduced, shape-preserving scale.
-  analysis::BenchReport report;
-  report.name = "environments";
-  report.suite = "environments";
-  report.scale_packets = 40'000;
+  std::vector<SuiteCase> cases;
   std::uint64_t seed = 2025;
   for (const auto& preset : all_presets()) {
-    const auto cfg = suite_config(preset, report.scale_packets, 5, seed++);
-    report.cases.push_back(make_bench_case(cfg, run_experiment(cfg)));
+    cases.push_back({suite_config(preset, packets, 5, seed++), {}});
   }
-  return report;
+  return cases;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -174,17 +178,54 @@ const std::vector<BenchSuiteInfo>& bench_suites() {
 }
 
 std::vector<std::string> run_bench_suite(const std::string& suite,
-                                         const std::string& out_dir) {
+                                         const std::string& out_dir, int jobs,
+                                         SuiteTiming* timing) {
   analysis::BenchReport report;
+  report.name = suite;
+  report.suite = suite;
+  std::vector<SuiteCase> cases;
   if (suite == "quick") {
-    report = run_quick_suite();
+    report.scale_packets = 20'000;
+    cases = quick_cases(report.scale_packets);
   } else if (suite == "engines") {
-    report = run_engines_suite();
+    report.scale_packets = 16'000;
+    cases = engines_cases(report.scale_packets);
   } else if (suite == "environments") {
-    report = run_environments_suite();
+    report.scale_packets = 40'000;
+    cases = environments_cases(report.scale_packets);
   } else {
     throw Error("unknown bench suite: " + suite);
   }
+
+  // The suite-level fan-out owns the workers; each experiment's own κ
+  // evaluation degrades to inline on pool workers, so the requested job
+  // count is also forwarded per experiment to cover the sequential-suite
+  // case (and --jobs 1 pins everything to the historical path).
+  for (auto& sc : cases) sc.config.eval_jobs = jobs;
+
+  const auto suite_start = std::chrono::steady_clock::now();
+  std::vector<double> task_ms(cases.size(), 0.0);
+  // Cases land in the report by submission index, so the JSON bytes are
+  // independent of the job count and of worker scheduling.
+  report.cases = parallel_map_indexed<analysis::BenchCase>(
+      jobs, cases.size(), [&cases, &task_ms](std::size_t i) {
+        const auto task_start = std::chrono::steady_clock::now();
+        const SuiteCase& sc = cases[i];
+        analysis::BenchCase c = make_bench_case(
+            sc.config, run_experiment(sc.config), sc.case_name);
+        task_ms[i] = ms_since(task_start);
+        return c;
+      });
+  if (timing != nullptr) {
+    timing->jobs = will_fan_out(jobs, cases.size())
+                       ? std::min<int>(resolve_jobs(jobs),
+                                       static_cast<int>(cases.size()))
+                       : 1;
+    timing->wall_ms = ms_since(suite_start);
+    timing->tasks_ms = 0.0;
+    for (const double ms : task_ms) timing->tasks_ms += ms;
+  }
+
   fs::create_directories(out_dir);
   const std::string file = "BENCH_" + report.name + ".json";
   analysis::write_json(report, (fs::path(out_dir) / file).string());

@@ -36,11 +36,34 @@ struct BenchSuiteInfo {
 /// docs/BENCHMARKS.md).
 const std::vector<BenchSuiteInfo>& bench_suites();
 
+/// Host-side timing of one suite execution. Report-only: wall/task
+/// times are host clocks and are never written into BENCH_*.json, so
+/// suite artifacts stay byte-comparable across machines and job counts
+/// (`choirctl bench` prints them only under CHOIR_BENCH_HOST_TIME=1).
+struct SuiteTiming {
+  int jobs = 1;           ///< resolved worker count the suite ran at
+  double wall_ms = 0.0;   ///< wall clock across the whole suite
+  double tasks_ms = 0.0;  ///< sum of per-experiment wall times
+  /// Effective parallel speedup: total work over wall clock (~1.0 when
+  /// sequential, approaching `jobs` with perfect scaling).
+  double speedup() const { return wall_ms > 0.0 ? tasks_ms / wall_ms : 0.0; }
+};
+
 /// Run a named suite and write its BENCH_<name>.json files into
 /// `out_dir` (created if missing). Returns the file names written
 /// (relative to out_dir). Throws choir::Error on an unknown suite.
+///
+/// `jobs` fans the suite's independent experiments across a TaskPool
+/// (0 = auto via resolve_jobs, 1 = the sequential path). Each
+/// experiment is a pure function of its pinned config and seed, and
+/// cases land in the report by submission index, so the written bytes
+/// are identical at any job count (enforced by test_parallel_determinism
+/// and the CI determinism gate). `timing`, when non-null, receives the
+/// host-side wall/task times of this execution.
 std::vector<std::string> run_bench_suite(const std::string& suite,
-                                         const std::string& out_dir);
+                                         const std::string& out_dir,
+                                         int jobs = 0,
+                                         SuiteTiming* timing = nullptr);
 
 /// Compare every BENCH_*.json present in `baseline_dir` against its
 /// namesake in `current_dir` (a missing file counts as a regression).

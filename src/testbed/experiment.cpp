@@ -10,6 +10,7 @@
 #include "choir/controller.hpp"
 #include "choir/middlebox.hpp"
 #include "common/expect.hpp"
+#include "common/task_pool.hpp"
 #include "fault/injector.hpp"
 #include "gen/generator.hpp"
 #include "net/link.hpp"
@@ -60,6 +61,9 @@ struct ReplayPath {
   std::unique_ptr<net::PhysNic> gen_phys;
   net::Vf* gen_vf = nullptr;
   net::Vf* ctl_vf = nullptr;
+  /// Controller -> replayer control flow; computed once at path setup
+  /// instead of re-deriving the MAC/IP tuple per run per command.
+  pktio::FlowAddress ctl_flow;
 
   std::unique_ptr<net::Link> repl_in_stub;   // unused egress of the in-port
   std::unique_ptr<net::PhysNic> repl_in_phys;
@@ -86,11 +90,8 @@ struct ReplayPath {
 
 core::Trial rebased_trial(const trace::Capture& capture) {
   core::Trial trial = capture.to_trial();
-  if (trial.empty()) return trial;
-  const Ns t0 = trial.first_time();
-  std::vector<core::TrialPacket> shifted(trial.packets());
-  for (auto& p : shifted) p.time -= t0;
-  return core::Trial(std::move(shifted));
+  trial.rebase_to_zero();
+  return trial;
 }
 
 core::ConsistencyMetrics mean_metrics(
@@ -272,6 +273,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         queue, *p.clock, *p.repl_in_vf, *p.repl_out_vf, choir_cfg,
         prng.split(4));
     p.middlebox->start();
+    p.ctl_flow = flow_between(kController, repl_id);
 
     p.ctl_pool =
         std::make_unique<pktio::Mempool>(64, "ctl" + std::to_string(i));
@@ -375,10 +377,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const Ns run_spacing = trial_duration + 2 * arm_margin + milliseconds(40);
 
   for (auto& p : paths) {
-    const auto repl_flow = flow_between(
-        kController, p.middlebox->config().replayer_id);
-    p.controller->start_record(milliseconds(1), repl_flow);
-    p.controller->stop_record(record_end, repl_flow);
+    p.controller->start_record(milliseconds(1), p.ctl_flow);
+    p.controller->stop_record(record_end, p.ctl_flow);
     p.generator->start();
   }
 
@@ -412,20 +412,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  // Run names are used twice (capture labels, tracer spans); build them
+  // once instead of re-concatenating inside the arm/trace loops.
+  std::vector<std::string> run_names;
+  run_names.reserve(static_cast<std::size_t>(config.runs));
+  for (int r = 0; r < config.runs; ++r) {
+    run_names.push_back("run-" + std::to_string(r));
+  }
+
   std::vector<trace::Capture> captures(static_cast<std::size_t>(config.runs));
   const Ns replay_base = record_end + milliseconds(30) + arm_margin;
   for (int r = 0; r < config.runs; ++r) {
     const Ns wall_start = replay_base + r * run_spacing;
-    captures[static_cast<std::size_t>(r)].set_name("run-" +
-                                                   std::to_string(r));
+    captures[static_cast<std::size_t>(r)].set_name(
+        run_names[static_cast<std::size_t>(r)]);
     daemon.arm(wall_start - arm_margin,
                wall_start + trial_duration + arm_margin,
                &captures[static_cast<std::size_t>(r)]);
     for (auto& p : paths) {
       if (config.engine == ReplayEngine::kChoir) {
-        const auto repl_flow = flow_between(
-            kController, p.middlebox->config().replayer_id);
-        p.controller->start_replay(wall_start - milliseconds(20), repl_flow,
+        p.controller->start_replay(wall_start - milliseconds(20), p.ctl_flow,
                                    wall_start);
         continue;
       }
@@ -458,7 +464,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     tracer->span("record-phase", milliseconds(1), record_end, 0);
     for (int r = 0; r < config.runs; ++r) {
       const Ns wall_start = replay_base + r * run_spacing;
-      tracer->span("run-" + std::to_string(r), wall_start - arm_margin,
+      tracer->span(run_names[static_cast<std::size_t>(r)],
+                   wall_start - arm_margin,
                    wall_start + trial_duration + arm_margin, 0);
     }
   }
@@ -466,6 +473,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // ---- Evaluate --------------------------------------------------------
   ExperimentResult result;
   result.trial_duration = trial_duration;
+  result.middlebox_stats.reserve(paths.size());
+  result.capture_sizes.reserve(captures.size());
   for (const auto& p : paths) {
     result.recorded_packets += p.middlebox->recording().packet_count();
     result.replay_tx_drops += p.repl_out_phys->tx_port().drops();
@@ -488,12 +497,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const core::Trial trial_a = rebased_trial(captures[0]);
   core::ComparisonOptions options;
   options.collect_series = config.collect_series;
-  for (int r = 1; r < config.runs; ++r) {
-    const core::Trial trial_b =
-        rebased_trial(captures[static_cast<std::size_t>(r)]);
-    result.comparisons.push_back(
-        core::compare_trials(trial_a, trial_b, options));
-  }
+  // Each run B..E is compared against run A independently; fan the
+  // comparisons across workers, each writing its own index-addressed
+  // slot. compare_trials is a pure function of the (immutable) captures,
+  // so the result vector is bit-identical at any job count. Degrades to
+  // the sequential loop inline when eval_jobs resolves to 1 or the
+  // experiment itself already runs on a suite-level pool worker.
+  const auto n_cmp = static_cast<std::size_t>(config.runs - 1);
+  result.comparisons.resize(n_cmp);
+  // Worker threads see no installed profiler (installation is
+  // thread-local), so when profiling is on each task gets its own
+  // profiler, merged back in submission order after the join. Host-time
+  // spans are report-only, so this never affects determinism.
+  const bool fan_out = will_fan_out(config.eval_jobs, n_cmp);
+  std::vector<telemetry::SpanProfiler> eval_profiles(
+      fan_out && profiler != nullptr ? n_cmp : 0);
+  parallel_for_indexed(config.eval_jobs, n_cmp, [&](std::size_t i) {
+    std::optional<telemetry::ScopedProfiler> task_prof;
+    if (!eval_profiles.empty()) task_prof.emplace(&eval_profiles[i]);
+    const core::Trial trial_b = rebased_trial(captures[i + 1]);
+    result.comparisons[i] = core::compare_trials(trial_a, trial_b, options);
+  });
+  for (const auto& ep : eval_profiles) profiler->merge_from(ep);
   result.mean = mean_metrics(result.comparisons);
   if (config.keep_captures) result.captures = std::move(captures);
   phase_prof.reset();

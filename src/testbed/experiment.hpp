@@ -78,6 +78,15 @@ struct ExperimentConfig {
   /// Keep raw captures in the result (memory-heavy at full scale).
   bool keep_captures = false;
   ReplayEngine engine = ReplayEngine::kChoir;
+  /// Workers for the Section-3 metric evaluation: each run B..E is
+  /// compared against run A on its own task (comparisons only read the
+  /// immutable captures). 0 = auto (CHOIR_JOBS, else hardware
+  /// concurrency); 1 = the sequential path. Results land by run index,
+  /// so every metric — and every artifact derived from one — is
+  /// bit-identical at any setting. When the experiment itself runs on a
+  /// task-pool worker (a suite fanning experiments out), the evaluation
+  /// degrades to inline automatically.
+  int eval_jobs = 0;
   TelemetryOptions telemetry;
   MonitorOptions monitor;
 };

@@ -1,0 +1,189 @@
+// TaskPool: the determinism contract of the parallel execution layer.
+//
+// Everything downstream (suite fan-out, parallel κ evaluation) leans on
+// three properties exercised here: results land by submission index no
+// matter which worker finishes first, jobs == 1 reproduces the
+// sequential path exactly (inline, in order, exceptions at the call
+// site), and nested fan-out composes instead of deadlocking. All
+// adversarial scheduling is driven by spin work, not sleeps, so the
+// suite stays fast under plain ctest and clean under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/task_pool.hpp"
+
+namespace choir {
+namespace {
+
+/// Busy work the optimizer cannot elide; long enough to spread tasks
+/// across workers, short enough to keep the test instant.
+void spin(std::uint64_t iterations) {
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) sink = sink + i;
+}
+
+TEST(TaskPoolTest, ResultsLandBySubmissionIndex) {
+  // Adversarial durations: the first-submitted task spins longest, so
+  // with completion-order results the vector would come out reversed.
+  constexpr std::size_t kTasks = 32;
+  std::vector<std::size_t> out(kTasks, 0);
+  TaskPool pool(4);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const std::size_t index = pool.submit([&out, i] {
+      spin((kTasks - i) * 20'000);
+      out[i] = i + 1;
+    });
+    EXPECT_EQ(index, i);
+  }
+  pool.wait();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(out[i], i + 1) << "slot " << i;
+  }
+}
+
+TEST(TaskPoolTest, PoolIsReusableAcrossWaits) {
+  TaskPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&total] { total.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(total.load(), 8 * (round + 1));
+  }
+}
+
+TEST(TaskPoolTest, ExceptionOfLowestIndexWins) {
+  // Several tasks fail; wait() must surface the lowest submission index
+  // regardless of which worker hit its failure first.
+  TaskPool pool(4);
+  for (std::size_t i = 0; i < 12; ++i) {
+    pool.submit([i] {
+      spin((12 - i) * 10'000);
+      if (i == 2 || i == 5 || i == 9) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 2");
+  }
+  // Captured errors are consumed by wait(); the pool keeps working.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskPoolTest, Jobs1RunsInlineInSubmissionOrder) {
+  // No worker threads: tasks run on the submitting thread before
+  // submit() returns, so side effects are visible immediately and
+  // strictly ordered — the historical sequential path.
+  TaskPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(i + 1));
+  }
+  pool.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TaskPoolTest, Jobs1PropagatesExceptionsAtTheCallSite) {
+  TaskPool pool(1);
+  EXPECT_THROW(pool.submit([] { throw std::logic_error("inline"); }),
+               std::logic_error);
+  // The failed task still counts as completed; wait() has nothing left.
+  pool.wait();
+}
+
+TEST(TaskPoolTest, NestedSubmissionRejected) {
+  // submit() from a worker thread could deadlock a fixed pool; it must
+  // throw instead (parallel_for_indexed is the composing alternative).
+  TaskPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&pool, &threw] {
+    EXPECT_TRUE(TaskPool::on_worker_thread());
+    try {
+      pool.submit([] {});
+    } catch (const Error&) {
+      threw = true;
+    }
+  });
+  pool.wait();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(TaskPoolTest, ParallelForFallsBackInlineOnWorkers) {
+  // A task that itself calls parallel_for_indexed must not deadlock:
+  // on a worker thread the nested loop runs inline.
+  TaskPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.submit([&inner_total] {
+    EXPECT_FALSE(will_fan_out(4, 8));
+    parallel_for_indexed(4, 8,
+                         [&inner_total](std::size_t) { inner_total++; });
+  });
+  pool.wait();
+  EXPECT_EQ(inner_total.load(), 8);
+}
+
+TEST(TaskPoolTest, ParallelMapKeepsIndexOrder) {
+  const auto out = parallel_map_indexed<std::size_t>(
+      4, 24, [](std::size_t i) {
+        spin((24 - i) * 20'000);
+        return i * 10;
+      });
+  ASSERT_EQ(out.size(), 24u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 10);
+}
+
+TEST(TaskPoolTest, ResolveJobsHonorsRequestThenEnvThenHardware) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_EQ(resolve_jobs(1), 1);
+
+  ASSERT_EQ(setenv("CHOIR_JOBS", "5", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), 5);
+  EXPECT_EQ(resolve_jobs(2), 2);  // explicit request beats the env
+
+  ASSERT_EQ(setenv("CHOIR_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(resolve_jobs(0), 1);  // garbage env falls through to hardware
+
+  ASSERT_EQ(unsetenv("CHOIR_JOBS"), 0);
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+TEST(TaskPoolTest, WillFanOutRequiresMultipleTasksAndJobs) {
+  EXPECT_FALSE(will_fan_out(4, 0));
+  EXPECT_FALSE(will_fan_out(4, 1));
+  EXPECT_FALSE(will_fan_out(1, 100));
+  EXPECT_TRUE(will_fan_out(4, 2));
+}
+
+TEST(TaskPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> done{0};
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&done] {
+        spin(10'000);
+        done.fetch_add(1);
+      });
+    }
+    // No wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+}  // namespace
+}  // namespace choir

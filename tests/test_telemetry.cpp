@@ -335,5 +335,59 @@ TEST(ScopedTelemetry, InstallsAndNests) {
   EXPECT_EQ(outer_registry.counter("hits").value(), 2u);
 }
 
+// ---- merge_from (worker-scoped sessions) -------------------------------
+
+TEST(Registry, MergeFromAddsCountersMaxesGaugesAndFoldsHistograms) {
+  Registry agg;
+  agg.counter("shared").add(10);
+  agg.gauge("depth").set_max(7);
+  agg.histogram("lat").record(100);
+
+  Registry worker;
+  worker.counter("shared").add(5);
+  worker.counter("worker_only").add(2);
+  worker.gauge("depth").set_max(3);   // below the aggregate's reading
+  worker.gauge("other").set_max(11);  // new instrument
+  worker.histogram("lat").record(200);
+  worker.histogram("lat").record(300);
+
+  agg.merge_from(worker);
+  EXPECT_EQ(agg.counter("shared").value(), 15u);
+  EXPECT_EQ(agg.counter("worker_only").value(), 2u);
+  EXPECT_EQ(agg.gauge("depth").value(), 7);
+  EXPECT_EQ(agg.gauge("other").value(), 11);
+  const auto s = agg.histogram("lat").summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 100);
+  EXPECT_EQ(s.max, 300);
+}
+
+TEST(LatencyHistogram, MergeFromIsSampleExact) {
+  LatencyHistogram a;
+  a.record(10);
+  a.record(1000);
+  LatencyHistogram b;
+  b.record(5);
+  b.record(50'000);
+
+  LatencyHistogram reference;
+  for (const std::int64_t v : {10, 1000, 5, 50'000}) reference.record(v);
+
+  a.merge_from(b);
+  const auto merged = a.summary();
+  const auto expected = reference.summary();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.p50, expected.p50);
+  EXPECT_EQ(merged.p99, expected.p99);
+
+  // Merging an empty histogram changes nothing (min stays honest).
+  LatencyHistogram empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.summary().count, expected.count);
+  EXPECT_EQ(a.summary().min, expected.min);
+}
+
 }  // namespace
 }  // namespace choir::telemetry

@@ -26,6 +26,11 @@
 //   --top-k N      attribution entries per window per kind (default 16)
 //   --windows      (stats) also run the monitor and print per-window rows
 //   --profile      host-time span profiling (profile.csv, trace track)
+//   --jobs N       worker threads (0 = auto: CHOIR_JOBS, else hardware
+//                  concurrency; 1 = sequential). Results are
+//                  byte-identical at any setting; `bench <suite> --jobs`
+//                  fans whole experiments out, `run`/`stats`/... use it
+//                  for the parallel metric evaluation.
 //
 // Environment names accept every preset from `list` plus chaos-<f>
 // (e.g. chaos-0.50) for the parametric chaos sweep presets.
@@ -65,7 +70,8 @@ int usage() {
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
       "  bench                         list benchmark suites\n"
-      "  bench <suite> [--out DIR] [--compare BASELINE] [--tolerance PCT]\n"
+      "  bench <suite> [--out DIR] [--jobs N] [--compare BASELINE]\n"
+      "                [--tolerance PCT]\n"
       "                                run a suite, write BENCH_*.json;\n"
       "                                with --compare, gate against the\n"
       "                                baseline dir (exit 1 on regression)\n"
@@ -74,7 +80,7 @@ int usage() {
       "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
       "choir|sleep|busywait|gapfill  --telemetry DIR\n"
       "         --monitor DIR  --window-packets N  --top-k N  --windows  "
-      "--profile\n");
+      "--profile  --jobs N\n");
   return 2;
 }
 
@@ -112,6 +118,7 @@ struct Options {
   std::size_t top_k = 16;
   bool windows = false;       ///< stats: print per-window monitor rows
   bool profile = false;       ///< host-time span profiling
+  int jobs = 0;               ///< 0 = auto (CHOIR_JOBS / hw concurrency)
   bool ok = true;
 };
 
@@ -156,6 +163,8 @@ Options parse_options(const std::vector<std::string>& args,
       opt.window_packets = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--top-k") {
       opt.top_k = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--jobs") {
+      opt.jobs = std::atoi(value.c_str());
     } else if (key == "--engine") {
       if (value == "choir") {
         opt.engine = testbed::ReplayEngine::kChoir;
@@ -193,6 +202,7 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.monitor.dir = opt.monitor_dir;
   cfg.monitor.window_packets = opt.window_packets;
   cfg.monitor.top_k = opt.top_k;
+  cfg.eval_jobs = opt.jobs;
   return run_experiment(cfg);
 }
 
@@ -458,10 +468,13 @@ int cmd_bench(const std::vector<std::string>& args) {
   std::string out_dir = "bench_out";
   std::vector<std::string> compare_dirs;
   double tolerance_pct = -1.0;
+  int jobs = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--out" && i + 1 < args.size()) {
       out_dir = args[++i];
+    } else if (arg == "--jobs" && i + 1 < args.size()) {
+      jobs = std::atoi(args[++i].c_str());
     } else if (arg == "--compare" && i + 1 < args.size()) {
       compare_dirs.push_back(args[++i]);
       // The pure-diff form takes the current dir as a second operand.
@@ -480,9 +493,22 @@ int cmd_bench(const std::vector<std::string>& args) {
   if (!suite.empty() && compare_dirs.size() > 1) return usage();
 
   if (!suite.empty()) {
-    const auto written = testbed::run_bench_suite(suite, out_dir);
+    testbed::SuiteTiming timing;
+    const auto written = testbed::run_bench_suite(suite, out_dir, jobs,
+                                                  &timing);
     for (const auto& name : written) {
       std::printf("wrote %s/%s\n", out_dir.c_str(), name.c_str());
+    }
+    // Host wall-clock is nondeterministic, so the timing line stays off
+    // unless explicitly requested — keeps default output (and anything
+    // scraping it) identical across machines and job counts.
+    const char* host_time = std::getenv("CHOIR_BENCH_HOST_TIME");
+    if (host_time != nullptr && std::strcmp(host_time, "1") == 0) {
+      std::printf(
+          "suite %s: wall %.0f ms, tasks %.0f ms, speedup %.2fx at %d "
+          "jobs\n",
+          suite.c_str(), timing.wall_ms, timing.tasks_ms, timing.speedup(),
+          timing.jobs);
     }
     if (compare_dirs.empty()) return 0;
     compare_dirs.push_back(out_dir);  // baseline, current
