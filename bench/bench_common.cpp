@@ -16,7 +16,7 @@
 namespace choir::bench {
 
 testbed::ExperimentResult run_env(const testbed::EnvironmentPreset& preset,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, int jobs) {
   testbed::ExperimentConfig cfg;
   cfg.env = preset;
   cfg.packets = testbed::scale_from_env();
@@ -24,6 +24,7 @@ testbed::ExperimentResult run_env(const testbed::EnvironmentPreset& preset,
   cfg.seed = seed;
   cfg.collect_series = true;
   cfg.keep_captures = false;
+  cfg.eval_jobs = jobs;
   return testbed::run_experiment(cfg);
 }
 
@@ -111,18 +112,30 @@ double host_now_ms() {
 
 }  // namespace
 
+namespace {
+
+/// Find `<flag> VALUE` in argv, strip both (so downstream parsers — e.g.
+/// google-benchmark's Initialize — never see them) and return VALUE.
+/// Null when the flag is absent.
+const char* take_flag_value(const char* flag, int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+      const char* value = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return value;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 std::string json_path_from_args(const std::string& name, int* argc,
                                 char** argv) {
   std::string path;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-      path = argv[i + 1];
-      // Strip the flag and its value so downstream parsers (e.g.
-      // google-benchmark's Initialize) never see them.
-      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
-      *argc -= 2;
-      break;
-    }
+  if (const char* value = take_flag_value("--json", argc, argv)) {
+    path = value;
   }
   if (path.empty()) {
     if (const char* dir = std::getenv("CHOIR_BENCH_JSON")) {
@@ -133,16 +146,24 @@ std::string json_path_from_args(const std::string& name, int* argc,
 }
 
 int jobs_from_args(int* argc, char** argv) {
-  int jobs = 0;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < *argc) {
-      jobs = std::atoi(argv[i + 1]);
-      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
-      *argc -= 2;
-      break;
-    }
-  }
-  return jobs;
+  return int_from_args("--jobs", 0, argc, argv);
+}
+
+std::uint64_t u64_from_args(const char* flag, std::uint64_t fallback,
+                            int* argc, char** argv) {
+  const char* value = take_flag_value(flag, argc, argv);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+int int_from_args(const char* flag, int fallback, int* argc, char** argv) {
+  const char* value = take_flag_value(flag, argc, argv);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+double double_from_args(const char* flag, double fallback, int* argc,
+                        char** argv) {
+  const char* value = take_flag_value(flag, argc, argv);
+  return value != nullptr ? std::strtod(value, nullptr) : fallback;
 }
 
 std::vector<testbed::ExperimentResult> run_configs(

@@ -25,9 +25,10 @@
 namespace choir::bench {
 
 /// Run one environment at the env-var-selected scale with the paper's
-/// five runs (A plus B-E).
+/// five runs (A plus B-E). `jobs` fans the Section-3 evaluation (0 =
+/// auto, 1 = sequential); results are byte-identical at any setting.
 testbed::ExperimentResult run_env(const testbed::EnvironmentPreset& preset,
-                                  std::uint64_t seed = 2025);
+                                  std::uint64_t seed = 2025, int jobs = 0);
 
 /// Print the experiment header (environment, scale, provenance counters).
 void print_header(const std::string& figure,
@@ -58,6 +59,15 @@ std::string json_path_from_args(const std::string& name, int* argc,
 /// Resolve (and strip) a `--jobs N` flag. Returns 0 (auto: CHOIR_JOBS,
 /// else hardware concurrency — see choir::resolve_jobs) when absent.
 int jobs_from_args(int* argc, char** argv);
+
+/// Typed `<flag> VALUE` helpers, shared by every bench binary instead
+/// of hand-rolled strcmp scans. Each resolves the flag, strips it (and
+/// its value) from argv, and returns `fallback` when absent.
+std::uint64_t u64_from_args(const char* flag, std::uint64_t fallback,
+                            int* argc, char** argv);
+int int_from_args(const char* flag, int fallback, int* argc, char** argv);
+double double_from_args(const char* flag, double fallback, int* argc,
+                        char** argv);
 
 /// Run several independent experiment configurations, fanned across a
 /// task pool (`jobs` as in choirctl: 0 = auto, 1 = sequential). Results

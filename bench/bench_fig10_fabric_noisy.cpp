@@ -5,16 +5,34 @@
 // 9.3-13.8% IAT within +-10 ns, I 0.475-0.530, L ~2e-4, kappa ~0.74-0.76,
 // and the first runs with drops (U up to 5.8e-4).
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "testbed/scale.hpp"
 
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("fig10", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
+
+  // Shared+noisy and the dedicated control are independent seeded
+  // simulations: fan both across the task pool.
+  const std::vector<testbed::EnvironmentPreset> presets = {
+      testbed::fabric_shared_40_noisy(), testbed::fabric_dedicated_80_noisy()};
+  std::vector<testbed::ExperimentConfig> configs;
+  for (const auto& preset : presets) {
+    testbed::ExperimentConfig cfg;  // mirror bench::run_env()
+    cfg.env = preset;
+    cfg.packets = testbed::scale_from_env();
+    cfg.runs = 5;
+    cfg.seed = 2025;
+    configs.push_back(cfg);
+  }
+  const auto results = bench::run_configs(configs, jobs);
+
   {
-    const auto preset = testbed::fabric_shared_40_noisy();
-    const auto result = bench::run_env(preset);
-    bench::print_header("Figure 10 / Section 7.1 (shared, noisy)", preset,
+    const auto& result = results[0];
+    bench::print_header("Figure 10 / Section 7.1 (shared, noisy)", presets[0],
                         result);
     bench::print_run_metrics(result);
     std::size_t runs_with_drops = 0;
@@ -27,17 +45,15 @@ int main(int argc, char** argv) {
                 "205-1230 packets each)\n", runs_with_drops);
     bench::print_iat_histogram(result);      // Fig. 10a
     bench::print_latency_histogram(result);  // Fig. 10b
-    reporter.add_env(preset, result);
+    reporter.add_env(presets[0], result);
     reporter.add_metric("runs_with_drops",
                         static_cast<double>(runs_with_drops));
   }
   {
-    const auto preset = testbed::fabric_dedicated_80_noisy();
-    const auto result = bench::run_env(preset);
-    bench::print_header("Section 7.1 control (dedicated, noisy)", preset,
-                        result);
-    bench::print_run_metrics(result);
-    reporter.add_env(preset, result);
+    bench::print_header("Section 7.1 control (dedicated, noisy)", presets[1],
+                        results[1]);
+    bench::print_run_metrics(results[1]);
+    reporter.add_env(presets[1], results[1]);
   }
   reporter.finish();
   return 0;

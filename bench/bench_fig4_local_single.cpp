@@ -6,8 +6,9 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("fig4", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   const auto preset = testbed::local_single();
-  const auto result = bench::run_env(preset);
+  const auto result = bench::run_env(preset, 2025, jobs);
   bench::print_header("Figure 4 / Section 6.1", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 4a

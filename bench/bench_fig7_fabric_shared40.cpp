@@ -7,8 +7,9 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("fig7", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   const auto preset = testbed::fabric_shared_40();
-  const auto result = bench::run_env(preset);
+  const auto result = bench::run_env(preset, 2025, jobs);
   bench::print_header("Figure 7 / Section 7 test 2", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 7a

@@ -7,8 +7,9 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("fig8", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   const auto preset = testbed::fabric_dedicated_40_epoch2();
-  const auto result = bench::run_env(preset);
+  const auto result = bench::run_env(preset, 2025, jobs);
   bench::print_header("Figure 8 / Section 7 test 3", preset, result);
   bench::print_run_metrics(result);
   bench::print_iat_histogram(result);      // Fig. 8a

@@ -2,26 +2,38 @@
 // NICs. Paper bands (both): ~30.1-30.2% IAT within +-10 ns, I ~0.106-
 // 0.111, L ~4e-6..3e-5, kappa ~0.944-0.947 — IATs get a little more
 // consistent at the higher rate.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "testbed/scale.hpp"
 
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("fig9", &argc, argv);
-  {
-    const auto preset = testbed::fabric_dedicated_80();
-    const auto result = bench::run_env(preset);
-    bench::print_header("Figure 9a / Section 7 at 80G", preset, result);
-    bench::print_run_metrics(result);
-    bench::print_iat_histogram(result);
-    reporter.add_env(preset, result);
+  const int jobs = bench::jobs_from_args(&argc, argv);
+
+  // Both environments are independent seeded simulations: build the
+  // config list up front and fan it across the task pool.
+  const std::vector<testbed::EnvironmentPreset> presets = {
+      testbed::fabric_dedicated_80(), testbed::fabric_shared_80()};
+  std::vector<testbed::ExperimentConfig> configs;
+  for (const auto& preset : presets) {
+    testbed::ExperimentConfig cfg;  // mirror bench::run_env()
+    cfg.env = preset;
+    cfg.packets = testbed::scale_from_env();
+    cfg.runs = 5;
+    cfg.seed = 2025;
+    configs.push_back(cfg);
   }
-  {
-    const auto preset = testbed::fabric_shared_80();
-    const auto result = bench::run_env(preset);
-    bench::print_header("Figure 9b / Section 7 at 80G", preset, result);
-    bench::print_run_metrics(result);
-    bench::print_iat_histogram(result);
-    reporter.add_env(preset, result);
+  const auto results = bench::run_configs(configs, jobs);
+
+  const char* headers[] = {"Figure 9a / Section 7 at 80G",
+                           "Figure 9b / Section 7 at 80G"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    bench::print_header(headers[i], presets[i], results[i]);
+    bench::print_run_metrics(results[i]);
+    bench::print_iat_histogram(results[i]);
+    reporter.add_env(presets[i], results[i]);
   }
   reporter.finish();
   return 0;

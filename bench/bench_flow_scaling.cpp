@@ -1,0 +1,101 @@
+// bench_flow_scaling — the flow subsystem at many-flow scale.
+//
+// Records and replays an aggregate stream fanned over (by default) 100k
+// synthetic flows, classifies every capture back into per-flow trials,
+// and reports the cross-flow κ aggregates (worst / p50 / p90 / p99 /
+// packet-weighted mean — tail-oriented, see docs/FLOWS.md) in the BENCH
+// JSON. The percentile counters ride the normal case schema, so the
+// committed baseline in bench/baselines/ gates them like any other
+// simulated metric.
+//
+// Determinism gates:
+//   - The BENCH JSON is byte-identical at any --jobs (CI cmps 1 vs 4).
+//   - The sharded classifier is checked in-process against the
+//     sequential one on run A's capture (exit non-zero on divergence).
+//
+// Usage: bench_flow_scaling [--flows N] [--packets N] [--runs R]
+//                           [--jobs N] [--json PATH]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "trace/flow_classify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace choir;
+  bench::Reporter reporter("flow_scaling", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
+  // Scale is pinned (not CHOIR_SCALE) so the committed baseline is
+  // comparable on any machine, like the named suites.
+  const std::uint64_t flows =
+      bench::u64_from_args("--flows", 100'000, &argc, argv);
+  const std::uint64_t packets =
+      bench::u64_from_args("--packets", 3 * flows, &argc, argv);
+  const int runs = bench::int_from_args("--runs", 3, &argc, argv);
+
+  testbed::ExperimentConfig cfg;
+  cfg.env = testbed::local_single();
+  cfg.packets = packets;
+  cfg.runs = runs;
+  cfg.seed = 2025;
+  cfg.collect_series = true;  // iat_within_10ns in the case rows
+  cfg.keep_captures = true;  // classification self-check below
+  cfg.eval_jobs = jobs;
+  cfg.flow.enabled = true;
+  cfg.flow.flows = static_cast<std::uint32_t>(flows);
+  cfg.flow.shards = 16;
+
+  std::printf("flow-scaling: %s, %llu flows, %llu packets/trial, %d runs\n",
+              cfg.env.name.c_str(), static_cast<unsigned long long>(flows),
+              static_cast<unsigned long long>(packets), runs);
+  const auto result = testbed::run_experiment(cfg);
+
+  // Determinism gate: the sharded classifier (at the requested job
+  // count) must reproduce the sequential classifier packet for packet.
+  const auto sequential = trace::classify_capture(result.captures[0]);
+  const auto sharded = trace::classify_capture_sharded(
+      result.captures[0], cfg.flow.shards, jobs);
+  if (sequential.per_packet != sharded.per_packet ||
+      sequential.table.size() != sharded.table.size()) {
+    std::fprintf(stderr,
+                 "FAIL: sharded flow classification diverged from the "
+                 "sequential classifier\n");
+    return 1;
+  }
+
+  std::printf("classified %zu flows in run A (%llu frames unclassified)\n",
+              result.flow_count,
+              static_cast<unsigned long long>(result.flow_unclassified));
+  std::printf("%s",
+              analysis::render_flow_aggregates(result.flow_comparisons)
+                  .c_str());
+  std::printf("-- worst flows (run B vs A) --\n%s",
+              analysis::render_worst_flows(result.flow_comparisons.front(), 5)
+                  .c_str());
+
+  // The per-run aggregates land as case counters (flow.B.kappa_p50, ...);
+  // the cross-run summary lands under "metrics" for quick scraping.
+  reporter.add_case(cfg, result, "flow_scaling");
+  reporter.add_metric("flows.requested", static_cast<double>(flows));
+  reporter.add_metric("flows.classified",
+                      static_cast<double>(result.flow_count));
+  reporter.add_metric("flows.unclassified",
+                      static_cast<double>(result.flow_unclassified));
+  double worst = 1.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, weighted = 0.0;
+  for (const auto& fc : result.flow_comparisons) {
+    worst = std::min(worst, fc.aggregate.worst);
+    p50 += fc.aggregate.p50;
+    p90 += fc.aggregate.p90;
+    p99 += fc.aggregate.p99;
+    weighted += fc.aggregate.weighted_mean;
+  }
+  const auto n = static_cast<double>(result.flow_comparisons.size());
+  reporter.add_metric("kappa.worst", worst);
+  reporter.add_metric("kappa.p50", p50 / n);
+  reporter.add_metric("kappa.p90", p90 / n);
+  reporter.add_metric("kappa.p99", p99 / n);
+  reporter.add_metric("kappa.weighted", weighted / n);
+  reporter.finish();
+  return 0;
+}

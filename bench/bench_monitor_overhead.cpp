@@ -90,22 +90,16 @@ double observe_ns_per_packet(std::size_t packets) {
 
 int main(int argc, char** argv) {
   bench::Reporter reporter("monitor_overhead", &argc, argv);
-  double check_pct = -1.0;
-  std::uint64_t packets = testbed::scale_from_env() / 4;
-  int reps = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      check_pct = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
-      packets = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_monitor_overhead [--check PCT] "
-                   "[--packets N] [--reps R]\n");
-      return 2;
-    }
+  const double check_pct = bench::double_from_args("--check", -1.0, &argc,
+                                                   argv);
+  const std::uint64_t packets = bench::u64_from_args(
+      "--packets", testbed::scale_from_env() / 4, &argc, argv);
+  const int reps = bench::int_from_args("--reps", 3, &argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "usage: bench_monitor_overhead [--check PCT] "
+                 "[--packets N] [--reps R]\n");
+    return 2;
   }
 
   testbed::ExperimentConfig off;

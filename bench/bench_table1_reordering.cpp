@@ -13,8 +13,9 @@
 int main(int argc, char** argv) {
   using namespace choir;
   bench::Reporter reporter("table1", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
   const auto preset = testbed::local_dual();
-  const auto result = bench::run_env(preset);
+  const auto result = bench::run_env(preset, 2025, jobs);
   bench::print_header("Table 1 / Section 6.2", preset, result);
 
   analysis::TextTable table(

@@ -54,4 +54,52 @@ std::string TextTable::str() const {
   return out;
 }
 
+std::string render_flow_aggregates(
+    const std::vector<flow::FlowSetComparison>& comparisons) {
+  TextTable table({"run", "flows", "matched", "missing", "extra", "worst",
+                   "p50", "p90", "p99", "weighted"});
+  char label[2] = "B";
+  for (const auto& fc : comparisons) {
+    const flow::FlowAggregate& a = fc.aggregate;
+    table.add_row({label, std::to_string(a.flows), std::to_string(a.matched),
+                   std::to_string(a.only_a), std::to_string(a.only_b),
+                   format_metric(a.worst), format_metric(a.p50),
+                   format_metric(a.p90), format_metric(a.p99),
+                   format_metric(a.weighted_mean)});
+    ++label[0];
+  }
+  return table.str();
+}
+
+std::string render_worst_flows(const flow::FlowSetComparison& comparison,
+                               std::size_t limit) {
+  // Present flows sorted ascending by κ; one-sided flows (κ = 0.5 by the
+  // Eq. 5 empty-trial grading) surface naturally near the top.
+  std::vector<std::size_t> order;
+  order.reserve(comparison.flows.size());
+  for (std::size_t i = 0; i < comparison.flows.size(); ++i) {
+    if (comparison.flows[i].in_a || comparison.flows[i].in_b) {
+      order.push_back(i);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return comparison.flows[x].metrics.kappa <
+                            comparison.flows[y].metrics.kappa;
+                   });
+  if (order.size() > limit) order.resize(limit);
+  std::string out;
+  char line[160];
+  for (const std::size_t i : order) {
+    const flow::FlowComparison& fc = comparison.flows[i];
+    const char* note = fc.matched() ? "" : (fc.in_a ? " [missing]" : " [extra]");
+    std::snprintf(line, sizeof(line),
+                  "flow %-6u %-40s %6u/%-6u pkts kappa=%.4f%s\n", fc.id,
+                  flow::to_string(fc.key).c_str(), fc.packets_a, fc.packets_b,
+                  fc.metrics.kappa, note);
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace choir::analysis

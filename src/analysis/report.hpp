@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "flow/flow_kappa.hpp"
 
 namespace choir::analysis {
 
@@ -31,5 +32,15 @@ std::string format_metric(double value);
 
 /// One U/O/I/L/kappa row, in the paper's Table 2 column order.
 std::vector<std::string> metrics_cells(const core::ConsistencyMetrics& m);
+
+/// Per-comparison flow-aggregate table: one row per run comparison
+/// (labels B, C, …), with flow counts and the cross-flow κ aggregates
+/// (worst / p50 / p90 / p99 are tail-oriented — see docs/FLOWS.md).
+std::string render_flow_aggregates(
+    const std::vector<flow::FlowSetComparison>& comparisons);
+
+/// The `limit` worst flows (by κ) of one comparison, one line each.
+std::string render_worst_flows(const flow::FlowSetComparison& comparison,
+                               std::size_t limit);
 
 }  // namespace choir::analysis

@@ -1,0 +1,42 @@
+#include "flow/flow_demux.hpp"
+
+#include "common/expect.hpp"
+
+namespace choir::flow {
+
+DemuxResult demux_trial(const core::Trial& trial, std::span<const FlowId> ids,
+                        std::size_t flow_count, const DemuxOptions& options) {
+  CHOIR_EXPECT(trial.size() == ids.size(),
+               "flow id vector must parallel the trial");
+  DemuxResult result;
+  result.trials.resize(flow_count);
+
+  // Pass 1: per-flow sizes, so each trial allocates exactly once.
+  std::vector<std::size_t> counts(flow_count, 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const FlowId id = ids[i];
+    if (id == kNoFlow) {
+      ++result.unclassified;
+      continue;
+    }
+    CHOIR_EXPECT(id < flow_count, "flow id out of range");
+    ++counts[id];
+  }
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    result.trials[f].reserve(counts[f]);
+  }
+
+  // Pass 2: stable append in arrival order.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const FlowId id = ids[i];
+    if (id == kNoFlow) continue;
+    result.trials[id].push_back(trial[i]);
+  }
+
+  if (options.rebase) {
+    for (auto& t : result.trials) t.rebase_to_zero();
+  }
+  return result;
+}
+
+}  // namespace choir::flow

@@ -1,0 +1,46 @@
+// Demultiplex a recorded trial into per-flow trials.
+//
+// Input: a trial plus a parallel vector of flow ids (one per packet, as
+// produced by classification — trace::classify_capture or the recorder's
+// sharded classifier). Output: one trial per flow id, each preserving
+// the arrival order of its packets (a counting-sort style split: two
+// passes, no comparisons, stable by construction).
+//
+// Determinism: the split is a pure function of (trial, ids), so for a
+// byte-identical capture the per-flow trials are byte-identical — the
+// property the per-flow κ fan-out and the --jobs byte-identity gate rely
+// on. Packets classified kNoFlow (unparseable headers) are counted and
+// dropped; their count is part of the return value so callers can
+// surface it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trial.hpp"
+#include "flow/flow_key.hpp"
+
+namespace choir::flow {
+
+struct DemuxResult {
+  /// Per-flow trials indexed by FlowId; flows with no packets (possible
+  /// after erase or when demuxing run B against run A's id space) are
+  /// empty trials.
+  std::vector<core::Trial> trials;
+  std::uint64_t unclassified = 0;  ///< packets with id kNoFlow, dropped
+};
+
+struct DemuxOptions {
+  /// Rebase each per-flow trial so its first packet is at time 0 (each
+  /// flow evaluated on its own timebase, as whole captures are).
+  bool rebase = false;
+};
+
+/// Split `trial` by `ids` (must be the same length) into `flow_count`
+/// per-flow trials.
+DemuxResult demux_trial(const core::Trial& trial, std::span<const FlowId> ids,
+                        std::size_t flow_count,
+                        const DemuxOptions& options = {});
+
+}  // namespace choir::flow

@@ -1,0 +1,45 @@
+#include "flow/flow_key.hpp"
+
+#include <cstdio>
+
+namespace choir::flow {
+
+FlowKey key_of(const pktio::FlowAddress& addr, std::uint32_t stream) {
+  FlowKey key;
+  key.src_ip = addr.src_ip;
+  key.dst_ip = addr.dst_ip;
+  key.src_port = addr.src_port;
+  key.dst_port = addr.dst_port;
+  key.protocol = pktio::kIpProtoUdp;
+  key.stream = stream;
+  return key;
+}
+
+namespace {
+void append_ip(std::string& out, std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  out += buf;
+}
+}  // namespace
+
+std::string to_string(const FlowKey& key) {
+  std::string out;
+  out.reserve(48);
+  append_ip(out, key.src_ip);
+  out += ':';
+  out += std::to_string(key.src_port);
+  out += " > ";
+  append_ip(out, key.dst_ip);
+  out += ':';
+  out += std::to_string(key.dst_port);
+  out += key.protocol == pktio::kIpProtoUdp
+             ? " udp"
+             : " proto" + std::to_string(key.protocol);
+  out += " #";
+  out += std::to_string(key.stream);
+  return out;
+}
+
+}  // namespace choir::flow

@@ -130,4 +130,29 @@ std::string render_top_divergence(const StreamMonitor& monitor,
   return out;
 }
 
+std::string render_flow_summary(const StreamMonitor& monitor) {
+  std::string out;
+  char line[256];
+  for (const StreamResult& s : monitor.streams()) {
+    if (!s.has_flows) continue;
+    const flow::FlowAggregate& a = s.flow_aggregate;
+    std::snprintf(line, sizeof(line),
+                  "%-8s %zu flows (%zu matched, %zu missing, %zu extra): "
+                  "kappa worst=%.4f p50=%.4f p90=%.4f p99=%.4f "
+                  "weighted=%.4f\n",
+                  s.name.c_str(), a.flows, a.matched, a.only_a, a.only_b,
+                  a.worst, a.p50, a.p90, a.p99, a.weighted_mean);
+    out += line;
+    for (const flow::FlowComparison& fc : s.worst_flows) {
+      std::snprintf(line, sizeof(line),
+                    "  flow %-6u %-40s %6u/%-6u pkts kappa=%.4f%s\n", fc.id,
+                    flow::to_string(fc.key).c_str(), fc.packets_a,
+                    fc.packets_b, fc.metrics.kappa,
+                    fc.matched() ? "" : (fc.in_a ? "  [missing]" : "  [extra]"));
+      out += line;
+    }
+  }
+  return out;
+}
+
 }  // namespace choir::monitor

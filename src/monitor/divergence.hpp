@@ -41,4 +41,8 @@ std::string render_stream_summary(const StreamMonitor& monitor);
 std::string render_top_divergence(const StreamMonitor& monitor,
                                   std::size_t limit);
 
+/// Per-stream flow aggregates plus the worst flows by κ. Empty string
+/// when no stream carried a per-flow finale.
+std::string render_flow_summary(const StreamMonitor& monitor);
+
 }  // namespace choir::monitor

@@ -95,7 +95,7 @@ void StreamMonitor::worker_main() {
     const Item item = ring_[head & ring_mask_];
     ring_head_.store(++head, std::memory_order_release);
     if (item.kind == kItemObserve) {
-      do_observe(item.id, item.time);
+      do_observe(item.id, item.time, item.flow);
     } else {
       std::string name;
       {
@@ -135,14 +135,20 @@ void StreamMonitor::begin_stream(const std::string& name) {
 }
 
 void StreamMonitor::observe(core::PacketId raw_id, Ns timestamp) {
+  observe(raw_id, timestamp, flow::kNoFlow);
+}
+
+void StreamMonitor::observe(core::PacketId raw_id, Ns timestamp,
+                            flow::FlowId flow) {
   if (!config_.async) {
-    do_observe(raw_id, timestamp);
+    do_observe(raw_id, timestamp, flow);
     return;
   }
   Item item;
   item.id = raw_id;
   item.time = timestamp;
   item.kind = kItemObserve;
+  item.flow = flow;
   enqueue(item);
 }
 
@@ -195,11 +201,20 @@ void StreamMonitor::install_reference(core::Trial reference) {
   reference_set_ = true;
 }
 
-void StreamMonitor::set_reference(core::Trial reference) {
+void StreamMonitor::set_reference(core::Trial reference,
+                                  std::vector<flow::FlowId> flows) {
   CHOIR_EXPECT(!stream_open_, "cannot replace the reference mid-stream");
   CHOIR_EXPECT(!config_.async || !worker_.joinable() || observed_ == 0,
                "set_reference() must precede async feeding");
+  CHOIR_EXPECT(flows.empty() || flows.size() == reference.size(),
+               "reference flow ids must parallel the trial");
   install_reference(std::move(reference));
+  reference_flows_ = std::move(flows);
+  for (const flow::FlowId f : reference_flows_) {
+    if (f != flow::kNoFlow && f + 1 > flow_ids_high_) {
+      flow_ids_high_ = f + 1;
+    }
+  }
 }
 
 void StreamMonitor::do_begin_stream(const std::string& name) {
@@ -209,6 +224,7 @@ void StreamMonitor::do_begin_stream(const std::string& name) {
       !reference_set_ && config_.reference_from_first_stream;
   stream_name_ = name;
   stream_packets_.clear();
+  stream_flows_.clear();
   id_table_.new_stream();
   window_begin_ = 0;
   window_index_ = 0;
@@ -233,7 +249,8 @@ std::uint64_t StreamMonitor::fenwick_prefix(std::size_t index_a) const {
   return sum;
 }
 
-void StreamMonitor::do_observe(core::PacketId raw_id, Ns timestamp) {
+void StreamMonitor::do_observe(core::PacketId raw_id, Ns timestamp,
+                               flow::FlowId flow) {
   CHOIR_EXPECT(stream_open_, "observe() requires an open stream");
   const IdTable::Hit hit = id_table_.observe(raw_id);
   const core::PacketId id =
@@ -241,6 +258,10 @@ void StreamMonitor::do_observe(core::PacketId raw_id, Ns timestamp) {
                          : raw_id;
   const auto k = static_cast<std::uint32_t>(stream_packets_.size());
   stream_packets_.push_back(core::TrialPacket{id, timestamp});
+  stream_flows_.push_back(flow);
+  if (flow != flow::kNoFlow && flow + 1 > flow_ids_high_) {
+    flow_ids_high_ = flow + 1;
+  }
   ++observed_;
   if (!config_.async) tm_observed_.add();
   if (stream_is_reference_) return;
@@ -501,7 +522,9 @@ void StreamMonitor::close_stream() {
   stream_open_ = false;
   if (stream_is_reference_) {
     install_reference(core::Trial(std::move(stream_packets_)));
+    reference_flows_ = std::move(stream_flows_);
     stream_packets_.clear();
+    stream_flows_.clear();
     return;
   }
   telemetry::ProfileSpan prof("monitor.finalize");
@@ -522,10 +545,45 @@ void StreamMonitor::close_stream() {
   result.moved = cmp.moved;
   result.missing = cmp.size_a - cmp.common;
   result.extra = cmp.size_b - cmp.common;
+
+  // Per-flow finale: exact Eq. 5 per flow over the shared (classifier)
+  // id space. Inline (jobs = 1): close_stream may already be on the
+  // async worker, and the finale is a once-per-stream cost.
+  const bool stream_has_flows =
+      std::any_of(stream_flows_.begin(), stream_flows_.end(),
+                  [](flow::FlowId f) { return f != flow::kNoFlow; });
+  if (!reference_flows_.empty() && stream_has_flows) {
+    const core::Trial& a = reference_;
+    flow::FlowSetComparison flows = flow::compare_flows_by_id(
+        a, reference_flows_, full, stream_flows_, flow_ids_high_, /*jobs=*/1);
+    result.has_flows = true;
+    result.flow_count = flows.aggregate.flows;
+    result.flow_aggregate = flows.aggregate;
+    if (config_.flow_top_k > 0) {
+      std::vector<std::size_t> order;
+      order.reserve(flows.flows.size());
+      for (std::size_t f = 0; f < flows.flows.size(); ++f) {
+        const flow::FlowComparison& fc = flows.flows[f];
+        if (fc.in_a || fc.in_b) order.push_back(f);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return flows.flows[x].metrics.kappa <
+                                flows.flows[y].metrics.kappa;
+                       });
+      if (order.size() > config_.flow_top_k) order.resize(config_.flow_top_k);
+      result.worst_flows.reserve(order.size());
+      for (const std::size_t f : order) {
+        result.worst_flows.push_back(flows.flows[f]);
+      }
+    }
+  }
+
   streams_.push_back(std::move(result));
   if (!config_.async) tm_streams_.add();
   ++stream_ordinal_;
   stream_packets_.clear();
+  stream_flows_.clear();
 }
 
 }  // namespace choir::monitor

@@ -41,6 +41,7 @@
 #include "common/units.hpp"
 #include "core/metrics.hpp"
 #include "core/trial.hpp"
+#include "flow/flow_kappa.hpp"
 #include "monitor/id_table.hpp"
 #include "monitor/incremental_lis.hpp"
 #include "telemetry/metric.hpp"
@@ -71,6 +72,9 @@ struct MonitorConfig {
   /// Async ring capacity (entries, rounded up to a power of two). The
   /// feeder blocks only when the worker trails by a full ring.
   std::size_t ring_capacity = 1u << 16;
+  /// Worst flows (ascending κ) kept per stream finale when the feed
+  /// carries flow ids. 0 keeps only the aggregate.
+  std::size_t flow_top_k = 16;
 };
 
 /// One closed window of a monitored stream.
@@ -116,6 +120,15 @@ struct StreamResult {
   std::size_t moved = 0;
   std::size_t missing = 0;
   std::size_t extra = 0;
+
+  /// Per-flow finale, populated iff both the reference and this stream
+  /// were fed flow ids (the recorder's classifier feed). The exact Eq. 5
+  /// comparison runs per flow on the flow's own timebase; the aggregate
+  /// follows flow/flow_kappa.hpp conventions.
+  bool has_flows = false;
+  std::size_t flow_count = 0;  ///< id-space size at stream close
+  flow::FlowAggregate flow_aggregate;
+  std::vector<flow::FlowComparison> worst_flows;  ///< ascending κ, capped
 };
 
 /// One attributed divergent packet (a `divergence.jsonl` line).
@@ -144,8 +157,10 @@ class StreamMonitor {
 
   /// Load the reference trial A explicitly (offline use). Timestamps are
   /// rebased to the first packet and duplicate ids occurrence-tagged, so
-  /// any capture-order trial is accepted.
-  void set_reference(core::Trial reference);
+  /// any capture-order trial is accepted. `flows`, when non-empty, must
+  /// parallel the trial and enables the per-flow finale for monitored
+  /// streams fed through the 3-argument observe().
+  void set_reference(core::Trial reference, std::vector<flow::FlowId> flows = {});
   bool has_reference() const { return reference_set_; }
   const core::Trial& reference() const { return reference_; }
 
@@ -158,6 +173,12 @@ class StreamMonitor {
   /// tagging) identity plus receiver timestamp, exactly what the capture
   /// path records. O(log n) amortized; windows close inline.
   void observe(core::PacketId raw_id, Ns timestamp);
+
+  /// Same, with the packet's flow id (from the recorder's classifier;
+  /// flow::kNoFlow for unclassifiable packets). Feeding flows for the
+  /// reference stream and at least one monitored stream enables the
+  /// per-flow finale in StreamResult.
+  void observe(core::PacketId raw_id, Ns timestamp, flow::FlowId flow);
 
   /// Close the current stream. Idempotent; further observes require a
   /// new begin_stream().
@@ -180,7 +201,7 @@ class StreamMonitor {
   // The do_* methods are the actual pipeline; in async mode they run on
   // the worker thread, in sync mode directly on the caller.
   void do_begin_stream(const std::string& name);
-  void do_observe(core::PacketId raw_id, Ns timestamp);
+  void do_observe(core::PacketId raw_id, Ns timestamp, flow::FlowId flow);
   void close_window(bool stream_ending);
   void close_stream();
   void install_reference(core::Trial reference);
@@ -200,6 +221,7 @@ class StreamMonitor {
     Ns time = 0;
     std::uint32_t kind = 0;        ///< kItemObserve | kItemBegin
     std::uint32_t name_index = 0;  ///< into stream_names_ for kItemBegin
+    flow::FlowId flow = flow::kNoFlow;
   };
   void enqueue(const Item& item);
   void worker_main();
@@ -214,6 +236,13 @@ class StreamMonitor {
   core::Trial reference_;
   bool reference_set_ = false;
   IdTable id_table_;  ///< fused id->ref-position + occurrence counting
+
+  // Flow feed (parallel to reference_ / stream_packets_; kNoFlow where
+  // the 2-argument observe was used). flow_ids_high_ tracks the id-space
+  // size: the classifier's ids are dense, so max+1 is the flow count.
+  std::vector<flow::FlowId> reference_flows_;
+  std::vector<flow::FlowId> stream_flows_;
+  std::size_t flow_ids_high_ = 0;
 
   // Current stream.
   bool stream_open_ = false;

@@ -150,6 +150,32 @@ analysis::BenchCase make_bench_case(const ExperimentConfig& config,
                           static_cast<double>(result.switch_queue_drops));
   c.counters.emplace_back("control_retries",
                           static_cast<double>(result.control_retries));
+
+  // Per-flow κ aggregates (iff the experiment ran with flows enabled).
+  // Flat counters so the existing report schema, writer, and compare
+  // gate cover them with no format change.
+  if (!result.flow_comparisons.empty()) {
+    c.counters.emplace_back("flows", static_cast<double>(result.flow_count));
+    c.counters.emplace_back("flow_unclassified",
+                            static_cast<double>(result.flow_unclassified));
+    char flow_label[2] = "B";
+    for (const auto& fc : result.flow_comparisons) {
+      const std::string prefix = std::string("flow.") + flow_label;
+      ++flow_label[0];
+      const flow::FlowAggregate& agg = fc.aggregate;
+      c.counters.emplace_back(prefix + ".matched",
+                              static_cast<double>(agg.matched));
+      c.counters.emplace_back(prefix + ".only_a",
+                              static_cast<double>(agg.only_a));
+      c.counters.emplace_back(prefix + ".only_b",
+                              static_cast<double>(agg.only_b));
+      c.counters.emplace_back(prefix + ".kappa_worst", agg.worst);
+      c.counters.emplace_back(prefix + ".kappa_p50", agg.p50);
+      c.counters.emplace_back(prefix + ".kappa_p90", agg.p90);
+      c.counters.emplace_back(prefix + ".kappa_p99", agg.p99);
+      c.counters.emplace_back(prefix + ".kappa_weighted", agg.weighted_mean);
+    }
+  }
   return c;
 }
 

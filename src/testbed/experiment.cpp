@@ -13,6 +13,7 @@
 #include "common/task_pool.hpp"
 #include "fault/injector.hpp"
 #include "gen/generator.hpp"
+#include "gen/multi_flow.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
 #include "net/noise.hpp"
@@ -24,6 +25,7 @@
 #include "sim/ptp.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/flow_classify.hpp"
 #include "trace/recorder.hpp"
 
 namespace choir::testbed {
@@ -81,6 +83,7 @@ struct ReplayPath {
   std::unique_ptr<app::Middlebox> middlebox;
   std::unique_ptr<app::Controller> controller;
   std::unique_ptr<gen::CbrGenerator> generator;
+  std::unique_ptr<gen::MultiFlowGenerator> multi_generator;
   // Baseline engines (Section 9 ablations); at most one is active.
   std::unique_ptr<replay::PacedReplayerBase> baseline;
   std::unique_ptr<replay::GapFillReplayer> gapfill;
@@ -214,7 +217,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   rec_nic.name = "recorder";
   net::PhysNic rec_phys(queue, rec_nic, root.split(0x524543), *rec_stub);
   net::Vf& rec_vf = rec_phys.add_vf(pktio::mac_for_node(kRecorder));
-  trace::CaptureDaemon daemon(queue, rec_vf, {}, root.split(0x444d));
+  // In-path flow classification is an observer: daemon behavior on the
+  // simulated timeline is identical with shards on or off.
+  const bool flows_on = config.flow.enabled;
+  const int flow_shards = flows_on ? std::max(1, config.flow.shards) : 0;
+  trace::CaptureDaemon daemon(queue, rec_vf, {}, root.split(0x444d),
+                              "recorder", flow_shards);
   const std::size_t rec_port_in = sw.add_port();  // egress to recorder
   sw.egress_link(rec_port_in).connect(rec_phys);
 
@@ -290,8 +298,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     stream.rate = env.rate / env.replayers;
     stream.count = per_stream;
     stream.start = milliseconds(10);
-    p.generator = std::make_unique<gen::CbrGenerator>(queue, *p.gen_vf,
-                                                      *p.gen_pool, stream);
+    if (config.flow.enabled && config.flow.flows > 1) {
+      // Fan the aggregate over this generator's share of the flows; the
+      // pacing, counts and payload tokens match the single-flow path.
+      gen::MultiFlowConfig mf;
+      mf.base = stream;
+      mf.flows = std::max<std::uint32_t>(
+          1, config.flow.flows / static_cast<std::uint32_t>(env.replayers));
+      p.multi_generator = std::make_unique<gen::MultiFlowGenerator>(
+          queue, *p.gen_vf, *p.gen_pool, mf);
+    } else {
+      p.generator = std::make_unique<gen::CbrGenerator>(queue, *p.gen_vf,
+                                                        *p.gen_pool, stream);
+    }
   }
 
   // ---- Background noise ------------------------------------------------
@@ -379,7 +398,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (auto& p : paths) {
     p.controller->start_record(milliseconds(1), p.ctl_flow);
     p.controller->stop_record(record_end, p.ctl_flow);
-    p.generator->start();
+    if (p.generator != nullptr) p.generator->start();
+    if (p.multi_generator != nullptr) p.multi_generator->start();
   }
 
   // Baseline replay engines (ablations) share the Choir recording but
@@ -481,7 +501,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.middlebox_stats.push_back(p.middlebox->stats());
     result.control_retries += p.controller->retries();
     result.control_send_failures += p.controller->send_failures();
-    result.generator_alloc_failures += p.generator->alloc_failures();
+    if (p.generator != nullptr) {
+      result.generator_alloc_failures += p.generator->alloc_failures();
+    }
+    if (p.multi_generator != nullptr) {
+      result.generator_alloc_failures += p.multi_generator->alloc_failures();
+    }
   }
   if (injector != nullptr) {
     result.fault_stats = injector->stats();
@@ -520,6 +545,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   });
   for (const auto& ep : eval_profiles) profiler->merge_from(ep);
   result.mean = mean_metrics(result.comparisons);
+
+  if (flows_on) {
+    telemetry::ProfileSpan prof_flows("experiment.flow_eval");
+    // Classify run A once (sharded fan-out), then each comparison
+    // classifies its own run and matches flows by key. Classification and
+    // compare_flows are pure functions of the immutable captures, so the
+    // vector is bit-identical at any job count (nested fan-out degrades
+    // to inline on pool workers as usual).
+    const trace::FlowClassification cls_a = trace::classify_capture_sharded(
+        captures[0], flow_shards, config.eval_jobs);
+    result.flow_count = cls_a.table.size();
+    result.flow_unclassified = daemon.flow_unclassified();
+    result.flow_comparisons.resize(n_cmp);
+    parallel_for_indexed(config.eval_jobs, n_cmp, [&](std::size_t i) {
+      const trace::FlowClassification cls_b = trace::classify_capture_sharded(
+          captures[i + 1], flow_shards, 1);
+      const core::Trial trial_b = rebased_trial(captures[i + 1]);
+      result.flow_comparisons[i] =
+          flow::compare_flows(trial_a, cls_a.table, cls_a.per_packet, trial_b,
+                              cls_b.table, cls_b.per_packet, /*jobs=*/1);
+    });
+  }
+
   if (config.keep_captures) result.captures = std::move(captures);
   phase_prof.reset();
 

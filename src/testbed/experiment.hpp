@@ -12,6 +12,7 @@
 #include "choir/middlebox.hpp"
 #include "core/metrics.hpp"
 #include "fault/injector.hpp"
+#include "flow/flow_kappa.hpp"
 #include "monitor/monitor.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span_profiler.hpp"
@@ -66,6 +67,23 @@ struct MonitorOptions {
   std::size_t top_k = 16;
 };
 
+/// Many-flow workload + per-flow evaluation (see docs/FLOWS.md).
+/// When enabled, each generator fans its aggregate stream over
+/// `flows / replayers` synthetic 5-tuples, the recorder classifies
+/// in-path (per-shard `flow.<s>.…` telemetry, flow ids on the monitor
+/// feed), and evaluation adds per-flow κ with cross-flow aggregates.
+/// Like telemetry/monitoring, classification observes the simulation
+/// without perturbing it — only the generated addresses differ from a
+/// single-flow run.
+struct FlowOptions {
+  bool enabled = false;
+  /// Total synthetic flows across generators (>= 1).
+  std::uint32_t flows = 1024;
+  /// Classifier shards: telemetry namespaces on the recorder and
+  /// partitions for the sharded offline classification.
+  int shards = 8;
+};
+
 struct ExperimentConfig {
   EnvironmentPreset env;
   /// Total packets per trial (split across replayers in dual topologies).
@@ -89,6 +107,7 @@ struct ExperimentConfig {
   int eval_jobs = 0;
   TelemetryOptions telemetry;
   MonitorOptions monitor;
+  FlowOptions flow;
 };
 
 struct ExperimentResult {
@@ -119,6 +138,12 @@ struct ExperimentResult {
   std::shared_ptr<telemetry::Registry> telemetry_registry;
   std::shared_ptr<telemetry::Tracer> telemetry_trace;
   std::vector<telemetry::Snapshot> telemetry_samples;
+
+  // Per-flow evaluation; populated iff config.flow.enabled. One entry
+  // per comparison (run 1+i vs run 0), keys matched by 5-tuple+stream.
+  std::vector<flow::FlowSetComparison> flow_comparisons;
+  std::size_t flow_count = 0;           ///< distinct flows in run A
+  std::uint64_t flow_unclassified = 0;  ///< recorder frames w/o a flow key
 
   /// Streaming monitor (windows, running estimates, divergence records,
   /// per-stream exact finales); populated iff config.monitor.enabled.

@@ -1,5 +1,8 @@
 #include "trace/recorder.hpp"
 
+#include "flow/flow_shard.hpp"
+#include "trace/flow_classify.hpp"
+
 namespace choir::trace {
 
 void CaptureDaemon::arm(Ns from, Ns until, Capture* out) {
@@ -35,8 +38,24 @@ bool CaptureDaemon::drain() {
       if (active_ != nullptr) {
         const CaptureRecord record =
             CaptureRecord::from_frame(m->frame, m->rx_timestamp);
+        flow::FlowId fid = flow::kNoFlow;
+        if (flow_shards_ > 0) {
+          flow::FlowKey key;
+          if (key_of_record(record, &key)) {
+            const std::size_t before = flow_table_.ids();
+            fid = flow_table_.classify(key, record.wire_len,
+                                       record.timestamp, recorded_);
+            const int s = flow::shard_of_key(key, flow_shards_);
+            const auto su = static_cast<std::size_t>(s);
+            tm_flow_packets_[su].add();
+            tm_flow_bytes_[su].add(record.wire_len);
+            if (flow_table_.ids() > before) tm_flow_new_[su].add();
+          } else {
+            ++flow_unclassified_;
+          }
+        }
         if (monitor_ != nullptr) {
-          monitor_->observe(record.packet_id(), record.timestamp);
+          monitor_->observe(record.packet_id(), record.timestamp, fid);
         }
         active_->append(record);
         ++recorded_;

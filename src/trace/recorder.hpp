@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "flow/flow_table.hpp"
 #include "monitor/monitor.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ethdev.hpp"
@@ -22,9 +24,15 @@ namespace choir::trace {
 
 class CaptureDaemon {
  public:
+  /// `flow_shards` > 0 turns on in-path flow classification: every
+  /// recorded frame is classified into a persistent FlowTable (dense ids
+  /// first-seen across ALL runs, so run B reuses run A's ids), per-shard
+  /// `flow.<shard>.{packets,bytes,flows}` counters are maintained, and
+  /// the monitor feed carries the flow id. Strictly an observer: one
+  /// predictable branch when off, and never any effect on the sim.
   CaptureDaemon(sim::EventQueue& queue, net::Vf& vf,
                 net::PollLoopConfig poll = {}, Rng rng = Rng{0xCAFE},
-                const std::string& label = "recorder")
+                const std::string& label = "recorder", int flow_shards = 0)
       : queue_(queue),
         dev_(label, vf),
         loop_(queue, vf, poll, rng, label),
@@ -32,7 +40,14 @@ class CaptureDaemon {
         tm_discarded_(telemetry::counter(label + ".discarded")),
         tm_drain_batch_pkts_(telemetry::histogram(label + ".drain_batch_pkts")),
         tm_track_(telemetry::track(label)),
-        monitor_(monitor::current()) {
+        monitor_(monitor::current()),
+        flow_shards_(flow_shards) {
+    for (int s = 0; s < flow_shards_; ++s) {
+      const std::string prefix = "flow." + std::to_string(s) + ".";
+      tm_flow_packets_.push_back(telemetry::counter(prefix + "packets"));
+      tm_flow_bytes_.push_back(telemetry::counter(prefix + "bytes"));
+      tm_flow_new_.push_back(telemetry::counter(prefix + "flows"));
+    }
     loop_.set_handler([this] { return drain(); });
     loop_.start();
   }
@@ -45,6 +60,11 @@ class CaptureDaemon {
   std::uint64_t discarded() const { return discarded_; }
   std::uint64_t recorded() const { return recorded_; }
   const pktio::EthDevStats& port_stats() const { return dev_.stats(); }
+
+  /// In-path classifier state (meaningful iff flow_shards > 0).
+  int flow_shards() const { return flow_shards_; }
+  const flow::FlowTable& flows() const { return flow_table_; }
+  std::uint64_t flow_unclassified() const { return flow_unclassified_; }
 
  private:
   bool drain();
@@ -63,6 +83,15 @@ class CaptureDaemon {
   /// style): null when no monitor session is installed, in which case
   /// the per-packet feed is a single predictable branch.
   monitor::StreamMonitor* monitor_;
+
+  // In-path flow classification (off unless flow_shards_ > 0). The table
+  // assigns global dense ids; the shard only namespaces the telemetry.
+  int flow_shards_ = 0;
+  flow::FlowTable flow_table_;
+  std::uint64_t flow_unclassified_ = 0;
+  std::vector<telemetry::CounterHandle> tm_flow_packets_;
+  std::vector<telemetry::CounterHandle> tm_flow_bytes_;
+  std::vector<telemetry::CounterHandle> tm_flow_new_;
 };
 
 }  // namespace choir::trace

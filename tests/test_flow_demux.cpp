@@ -1,0 +1,103 @@
+// demux_trial: the counting-sort split of a trial into per-flow trials.
+// Order preservation, empty-flow slots, kNoFlow accounting, and the
+// rebase option are each load-bearing for the per-flow κ path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trial.hpp"
+#include "flow/flow_demux.hpp"
+
+namespace choir::flow {
+namespace {
+
+core::TrialPacket packet(std::uint64_t seq, Ns time) {
+  return {core::PacketId{0xABCD, seq}, time};
+}
+
+TEST(FlowDemux, SplitsByIdPreservingArrivalOrder) {
+  // Interleaved flows 0 and 1 plus one packet of flow 2.
+  core::Trial trial({packet(0, 100), packet(1, 110), packet(2, 120),
+                     packet(3, 130), packet(4, 140)});
+  const std::vector<FlowId> ids = {0, 1, 0, 2, 0};
+
+  const DemuxResult result = demux_trial(trial, ids, /*flow_count=*/3);
+  ASSERT_EQ(result.trials.size(), 3u);
+  EXPECT_EQ(result.unclassified, 0u);
+
+  ASSERT_EQ(result.trials[0].size(), 3u);
+  EXPECT_EQ(result.trials[0][0].id.lo, 0u);
+  EXPECT_EQ(result.trials[0][1].id.lo, 2u);
+  EXPECT_EQ(result.trials[0][2].id.lo, 4u);
+  EXPECT_EQ(result.trials[0][0].time, 100);
+  EXPECT_EQ(result.trials[0][2].time, 140);
+
+  ASSERT_EQ(result.trials[1].size(), 1u);
+  EXPECT_EQ(result.trials[1][0].id.lo, 1u);
+  ASSERT_EQ(result.trials[2].size(), 1u);
+  EXPECT_EQ(result.trials[2][0].id.lo, 3u);
+}
+
+TEST(FlowDemux, EmptyFlowsYieldEmptyTrials) {
+  // Demuxing run B against run A's (larger) id space: ids A saw but B
+  // did not must come back as empty trials, not be skipped.
+  core::Trial trial({packet(0, 10), packet(1, 20)});
+  const std::vector<FlowId> ids = {4, 4};
+  const DemuxResult result = demux_trial(trial, ids, /*flow_count=*/6);
+  ASSERT_EQ(result.trials.size(), 6u);
+  for (std::size_t f = 0; f < 6; ++f) {
+    if (f == 4) {
+      EXPECT_EQ(result.trials[f].size(), 2u);
+    } else {
+      EXPECT_TRUE(result.trials[f].empty());
+    }
+  }
+}
+
+TEST(FlowDemux, CountsAndDropsUnclassifiedPackets) {
+  core::Trial trial({packet(0, 10), packet(1, 20), packet(2, 30)});
+  const std::vector<FlowId> ids = {kNoFlow, 0, kNoFlow};
+  const DemuxResult result = demux_trial(trial, ids, /*flow_count=*/1);
+  EXPECT_EQ(result.unclassified, 2u);
+  ASSERT_EQ(result.trials.size(), 1u);
+  ASSERT_EQ(result.trials[0].size(), 1u);
+  EXPECT_EQ(result.trials[0][0].id.lo, 1u);
+}
+
+TEST(FlowDemux, RebasePutsEachFlowOnItsOwnTimebase) {
+  core::Trial trial({packet(0, 1000), packet(1, 1500), packet(2, 1700),
+                     packet(3, 2500)});
+  const std::vector<FlowId> ids = {0, 1, 0, 1};
+  const DemuxResult result =
+      demux_trial(trial, ids, /*flow_count=*/2, {.rebase = true});
+  ASSERT_EQ(result.trials[0].size(), 2u);
+  EXPECT_EQ(result.trials[0].first_time(), 0);
+  EXPECT_EQ(result.trials[0][1].time, 700);  // 1700 - 1000
+  EXPECT_EQ(result.trials[1].first_time(), 0);
+  EXPECT_EQ(result.trials[1][1].time, 1000);  // 2500 - 1500
+}
+
+TEST(FlowDemux, IsAPureFunctionOfItsInputs) {
+  // Two identical invocations must agree packet for packet — the
+  // property the --jobs byte-identity gate leans on.
+  std::vector<core::TrialPacket> packets;
+  std::vector<FlowId> ids;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    packets.push_back(packet(i, static_cast<Ns>(i) * 100));
+    ids.push_back(static_cast<FlowId>(i % 37));
+  }
+  const core::Trial trial(std::move(packets));
+  const DemuxResult x = demux_trial(trial, ids, 37);
+  const DemuxResult y = demux_trial(trial, ids, 37);
+  ASSERT_EQ(x.trials.size(), y.trials.size());
+  for (std::size_t f = 0; f < x.trials.size(); ++f) {
+    ASSERT_EQ(x.trials[f].size(), y.trials[f].size());
+    for (std::size_t i = 0; i < x.trials[f].size(); ++i) {
+      EXPECT_EQ(x.trials[f][i].id, y.trials[f][i].id);
+      EXPECT_EQ(x.trials[f][i].time, y.trials[f][i].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace choir::flow

@@ -8,6 +8,8 @@
 //   stats <env> [opts]        run with telemetry, print counter/latency stats
 //   stats <dir>               summarize previously written telemetry artifacts
 //   monitor <env> [opts]      run with the streaming monitor, print windows
+//   flows <env> [opts]        run a many-flow experiment, print per-flow
+//                             kappa aggregates and the worst flows
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
 //   bench                     list benchmark suites
 //   bench <suite> [opts]      run a suite, write BENCH_*.json artifacts
@@ -25,6 +27,11 @@
 //   --window-packets N  monitor window size in packets (default 8192)
 //   --top-k N      attribution entries per window per kind (default 16)
 //   --windows      (stats) also run the monitor and print per-window rows
+//   --per-flow     classify flows and evaluate per-flow kappa (see
+//                  docs/FLOWS.md); implied by `flows` and by --flows
+//   --flows N      synthetic flow count for the many-flow workload
+//   --flow-shards N  classifier shards / flow.<shard>.* namespaces
+//   --flow ID      (stats) show one flow; exits 1 when ID is absent
 //   --profile      host-time span profiling (profile.csv, trace track)
 //   --jobs N       worker threads (0 = auto: CHOIR_JOBS, else hardware
 //                  concurrency; 1 = sequential). Results are
@@ -67,6 +74,7 @@ int usage() {
       "  stats <env> [opts]            run with telemetry, print stats\n"
       "  stats <dir>                   summarize saved telemetry artifacts\n"
       "  monitor <env> [opts]          run with the streaming monitor\n"
+      "  flows <env> [opts]            many-flow run, per-flow kappa\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
       "  bench                         list benchmark suites\n"
@@ -80,7 +88,8 @@ int usage() {
       "options: --packets N  --runs N  --seed N  --csv DIR  --engine "
       "choir|sleep|busywait|gapfill  --telemetry DIR\n"
       "         --monitor DIR  --window-packets N  --top-k N  --windows  "
-      "--profile  --jobs N\n");
+      "--profile  --jobs N\n"
+      "         --per-flow  --flows N  --flow-shards N  --flow ID\n");
   return 2;
 }
 
@@ -119,6 +128,10 @@ struct Options {
   bool windows = false;       ///< stats: print per-window monitor rows
   bool profile = false;       ///< host-time span profiling
   int jobs = 0;               ///< 0 = auto (CHOIR_JOBS / hw concurrency)
+  bool per_flow = false;      ///< flow classification + per-flow kappa
+  std::uint32_t flows = 0;    ///< synthetic flows (0 = subsystem default)
+  int flow_shards = 8;        ///< classifier shards
+  long long flow_id = -1;     ///< stats: show one flow (exit 1 if absent)
   bool ok = true;
 };
 
@@ -136,6 +149,11 @@ Options parse_options(const std::vector<std::string>& args,
     }
     if (key == "--profile") {
       opt.profile = true;
+      ++i;
+      continue;
+    }
+    if (key == "--per-flow") {
+      opt.per_flow = true;
       ++i;
       continue;
     }
@@ -165,6 +183,15 @@ Options parse_options(const std::vector<std::string>& args,
       opt.top_k = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--jobs") {
       opt.jobs = std::atoi(value.c_str());
+    } else if (key == "--flows") {
+      opt.per_flow = true;
+      opt.flows =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "--flow-shards") {
+      opt.flow_shards = std::atoi(value.c_str());
+    } else if (key == "--flow") {
+      opt.per_flow = true;
+      opt.flow_id = std::atoll(value.c_str());
     } else if (key == "--engine") {
       if (value == "choir") {
         opt.engine = testbed::ReplayEngine::kChoir;
@@ -203,7 +230,51 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.monitor.window_packets = opt.window_packets;
   cfg.monitor.top_k = opt.top_k;
   cfg.eval_jobs = opt.jobs;
+  cfg.flow.enabled = opt.per_flow;
+  if (opt.flows > 0) cfg.flow.flows = opt.flows;
+  cfg.flow.shards = opt.flow_shards;
   return run_experiment(cfg);
+}
+
+void print_flows(const testbed::ExperimentResult& result,
+                 std::size_t worst_limit) {
+  if (result.flow_comparisons.empty()) return;
+  std::printf("-- per-flow kappa (%zu flows in run A, %llu unclassified) --\n%s",
+              result.flow_count,
+              static_cast<unsigned long long>(result.flow_unclassified),
+              analysis::render_flow_aggregates(result.flow_comparisons)
+                  .c_str());
+  if (worst_limit > 0) {
+    std::printf("-- worst flows (run B vs A) --\n%s",
+                analysis::render_worst_flows(result.flow_comparisons.front(),
+                                             worst_limit)
+                    .c_str());
+  }
+}
+
+/// Per-run detail for one flow id. A requested id that was never
+/// classified is an error (exit 1), exactly like pointing `stats` at a
+/// missing telemetry directory.
+int print_flow_detail(const testbed::ExperimentResult& result,
+                      long long flow_id) {
+  if (static_cast<std::uint64_t>(flow_id) >= result.flow_count) {
+    std::fprintf(stderr,
+                 "choirctl: flow %lld not present (%zu flows classified)\n",
+                 flow_id, result.flow_count);
+    return 1;
+  }
+  const auto id = static_cast<std::size_t>(flow_id);
+  std::printf("-- flow %lld --\n", flow_id);
+  for (std::size_t r = 0; r < result.flow_comparisons.size(); ++r) {
+    const auto& flows = result.flow_comparisons[r].flows;
+    if (id >= flows.size()) continue;
+    const flow::FlowComparison& fc = flows[id];
+    std::printf("  run %c: %-40s %6u/%-6u pkts kappa=%.4f%s\n",
+                static_cast<char>('B' + r), flow::to_string(fc.key).c_str(),
+                fc.packets_a, fc.packets_b, fc.metrics.kappa,
+                fc.matched() ? "" : (fc.in_a ? " [missing]" : " [extra]"));
+  }
+  return 0;
 }
 
 void print_metrics(const testbed::ExperimentResult& result) {
@@ -243,6 +314,7 @@ int cmd_run(const std::vector<std::string>& args, bool figures) {
               static_cast<unsigned long long>(result.recorded_packets),
               opt.runs);
   print_metrics(result);
+  print_flows(result, /*worst_limit=*/0);
   analysis::DeltaHistogram iat = analysis::DeltaHistogram::log_ns();
   analysis::DeltaHistogram lat = analysis::DeltaHistogram::log_ns();
   for (const auto& c : result.comparisons) {
@@ -350,6 +422,17 @@ int cmd_stats(const std::vector<std::string>& args) {
   const auto snapshot = registry.snapshot(0);
   std::printf("-- counters --\n");
   for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("flow.", 0) == 0) continue;  // own section below
+    std::printf("  %-42s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  bool any_flow_counter = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("flow.", 0) != 0) continue;
+    if (!any_flow_counter) {
+      std::printf("-- flow counters (flow.<shard>.*) --\n");
+      any_flow_counter = true;
+    }
     std::printf("  %-42s %llu\n", name.c_str(),
                 static_cast<unsigned long long>(value));
   }
@@ -372,6 +455,10 @@ int cmd_stats(const std::vector<std::string>& args) {
   std::printf("-- trace --\n  %zu events recorded, %llu dropped\n",
               tracer.events().size(),
               static_cast<unsigned long long>(tracer.dropped()));
+  print_flows(result, /*worst_limit=*/0);
+  if (opt.flow_id >= 0 && print_flow_detail(result, opt.flow_id) != 0) {
+    return 1;
+  }
   print_monitor(result, opt.windows, 0);
   print_profile(result);
   if (!opt.telemetry_dir.empty()) {
@@ -397,6 +484,32 @@ int cmd_monitor(const std::vector<std::string>& args) {
   if (!opt.monitor_dir.empty()) {
     std::printf("wrote %s/{divergence.jsonl,windows.csv}\n",
                 opt.monitor_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_flows(const std::vector<std::string>& args) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  Options opt = parse_options(args, 3);
+  if (!opt.ok) return usage();
+  opt.per_flow = true;
+  const auto result = run_with(env, opt, false);
+  std::printf("%s: %llu packets/trial, %d runs, mean kappa %.4f\n",
+              env.name.c_str(),
+              static_cast<unsigned long long>(result.recorded_packets),
+              opt.runs, result.mean.kappa);
+  print_flows(result, /*worst_limit=*/10);
+  if (opt.flow_id >= 0 && print_flow_detail(result, opt.flow_id) != 0) {
+    return 1;
+  }
+  if (result.monitor != nullptr) {
+    const std::string flow_summary =
+        monitor::render_flow_summary(*result.monitor);
+    if (!flow_summary.empty()) {
+      std::printf("-- monitored streams (per-flow) --\n%s",
+                  flow_summary.c_str());
+    }
   }
   return 0;
 }
@@ -533,6 +646,7 @@ int main(int argc, char** argv) {
     if (command == "save") return cmd_save(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "flows") return cmd_flows(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "bench") return cmd_bench(args);
   } catch (const std::exception& error) {
