@@ -1,0 +1,177 @@
+// bench_group_scaling — replay-group consistency versus node count.
+//
+// Runs the full replay-group protocol (coordinator node, barrier start,
+// beacons, straggler machinery) across N = 1..16 replay nodes on a
+// quiet fabric and reports the kappa-vs-N curve, plus three chaos cases
+// (node stall, control loss, clock degrade) that exercise resync and
+// eviction at fixed N. Every number in the BENCH JSON is simulated and
+// byte-deterministic, so the committed baseline in bench/baselines/
+// gates the whole curve; CI additionally cmps --jobs 1 against
+// --jobs 4 artifacts.
+//
+// Scale is pinned (not CHOIR_SCALE) so the committed baseline is
+// comparable on any machine.
+//
+// Usage: bench_group_scaling [--packets N] [--runs R] [--max-nodes N]
+//                            [--jobs N] [--json PATH]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fault/chaos.hpp"
+
+namespace {
+
+using namespace choir;
+
+/// The experiment's replay schedule (same constants as run_experiment),
+/// so the chaos cases can aim fault windows at one run's replay phase.
+struct Schedule {
+  Ns trial = 0;
+  Ns arm = 0;
+  Ns wall_start0 = 0;
+  Ns spacing = 0;
+  Ns wall_start(int r) const { return wall_start0 + r * spacing; }
+};
+
+Schedule schedule_for(const testbed::EnvironmentPreset& env,
+                      std::uint64_t packets) {
+  Schedule s;
+  s.trial = static_cast<Ns>(mean_iat_ns(env.frame_bytes, env.rate) *
+                            static_cast<double>(packets));
+  s.arm = std::max<Ns>(milliseconds(5),
+                       static_cast<Ns>(6.0 * env.replayer_sync_sigma_ns));
+  const Ns record_end = milliseconds(10) + s.trial + milliseconds(5);
+  s.wall_start0 = record_end + milliseconds(30) + s.arm;
+  s.spacing = s.trial + 2 * s.arm + milliseconds(40);
+  return s;
+}
+
+testbed::ExperimentConfig group_config(int nodes, std::uint64_t packets,
+                                       int runs, int jobs) {
+  testbed::ExperimentConfig cfg;
+  cfg.env = testbed::local_single();
+  cfg.env.replayers = nodes;
+  // Pin the sync model so the curve measures the protocol, not the
+  // preset's sync-jitter default.
+  cfg.env.replayer_sync_fraction_of_run = 0.0;
+  cfg.env.replayer_sync_sigma_ns = 25.0;
+  cfg.packets = packets;
+  cfg.runs = runs;
+  cfg.seed = 2025;
+  cfg.collect_series = true;  // iat_within_10ns in the case rows
+  cfg.eval_jobs = jobs;
+  cfg.flow.enabled = true;
+  cfg.flow.flows = 256;
+  cfg.flow.shards = 8;
+  cfg.group.enabled = true;
+  // Tight health cadence: trials here are single-digit milliseconds.
+  cfg.group.config.beacon_interval = microseconds(100);
+  cfg.group.config.check_interval = microseconds(250);
+  cfg.group.config.straggle_threshold = microseconds(400);
+  cfg.group.config.resync_slack = microseconds(50);
+  cfg.group.config.resync_retry = microseconds(500);
+  return cfg;
+}
+
+void add_group_metrics(bench::Reporter& reporter, const std::string& prefix,
+                       const testbed::ExperimentResult& result) {
+  const auto& g = result.group_stats;
+  reporter.add_metric(prefix + ".kappa", result.mean.kappa);
+  reporter.add_metric(prefix + ".rounds_completed",
+                      static_cast<double>(g.rounds_completed));
+  reporter.add_metric(prefix + ".rounds_degraded",
+                      static_cast<double>(g.rounds_degraded));
+  reporter.add_metric(prefix + ".beacons_rx",
+                      static_cast<double>(g.beacons_rx));
+  reporter.add_metric(prefix + ".stragglers",
+                      static_cast<double>(g.stragglers_detected));
+  reporter.add_metric(prefix + ".resyncs",
+                      static_cast<double>(g.resyncs_sent));
+  reporter.add_metric(prefix + ".evictions",
+                      static_cast<double>(g.evictions));
+  reporter.add_metric(prefix + ".barrier_worst_residual_ns",
+                      g.barrier_worst_residual_ns);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("group_scaling", &argc, argv);
+  const int jobs = bench::jobs_from_args(&argc, argv);
+  const std::uint64_t packets =
+      bench::u64_from_args("--packets", 8192, &argc, argv);
+  const int runs = bench::int_from_args("--runs", 3, &argc, argv);
+  const int max_nodes = bench::int_from_args("--max-nodes", 16, &argc, argv);
+
+  // Quiet curve: kappa vs node count. Every extra node adds one more
+  // shard boundary the barrier has to line up, so this is the paper's
+  // consistency-across-testbeds question asked of group size.
+  std::printf("group-scaling: %llu packets/trial, %d runs, N=1..%d\n",
+              static_cast<unsigned long long>(packets), runs, max_nodes);
+  for (int n = 1; n <= max_nodes; ++n) {
+    const auto cfg = group_config(n, packets, runs, jobs);
+    const auto result = testbed::run_experiment(cfg);
+    const std::string label = "group_n" + std::to_string(n);
+    reporter.add_case(cfg, result, label);
+    add_group_metrics(reporter, "quiet.n" + std::to_string(n), result);
+    std::printf("  N=%-2d kappa %.4f  beacons %llu  barrier worst %.0f ns\n",
+                n, result.mean.kappa,
+                static_cast<unsigned long long>(
+                    result.group_stats.beacons_rx),
+                result.group_stats.barrier_worst_residual_ns);
+  }
+
+  // Chaos case 1: a mid-replay stall on one node of four — straggle,
+  // resync to the group horizon, finish with the group.
+  {
+    auto cfg = group_config(4, packets, /*runs=*/2, jobs);
+    const Schedule s = schedule_for(cfg.env, packets);
+    cfg.env.faults = fault::group_node_stall_plan(
+        1, s.wall_start(1) + s.trial / 4, s.trial / 3);
+    const auto result = testbed::run_experiment(cfg);
+    reporter.add_case(cfg, result, "chaos_stall_n4");
+    add_group_metrics(reporter, "chaos.stall_n4", result);
+    std::printf("  stall N=4: kappa %.4f, %llu resyncs, %llu evictions\n",
+                result.mean.kappa,
+                static_cast<unsigned long long>(
+                    result.group_stats.resyncs_sent),
+                static_cast<unsigned long long>(
+                    result.group_stats.evictions));
+  }
+
+  // Chaos case 2: a lossy control path to one node of eight, covered by
+  // the sequenced retry/backoff channel.
+  {
+    auto cfg = group_config(8, packets, /*runs=*/2, jobs);
+    cfg.env.control_retry.max_attempts = 6;
+    cfg.env.control_retry.initial_backoff = microseconds(100);
+    cfg.env.control_retry.multiplier = 2.0;
+    cfg.env.control_retry.timeout = milliseconds(4);
+    cfg.env.faults = fault::group_control_loss_plan(1, 0, seconds(10), 0.5);
+    const auto result = testbed::run_experiment(cfg);
+    reporter.add_case(cfg, result, "chaos_ctl_loss_n8");
+    add_group_metrics(reporter, "chaos.ctl_loss_n8", result);
+    std::printf("  ctl-loss N=8: kappa %.4f, %llu control retries\n",
+                result.mean.kappa,
+                static_cast<unsigned long long>(result.control_retries));
+  }
+
+  // Chaos case 3: one degraded clock of four — the barrier keeps firing
+  // but its sampled residual blows up on the faulted node.
+  {
+    auto cfg = group_config(4, packets, /*runs=*/2, jobs);
+    cfg.env.faults =
+        fault::group_clock_degrade_plan(1, 0, seconds(10), 1000.0);
+    const auto result = testbed::run_experiment(cfg);
+    reporter.add_case(cfg, result, "chaos_clock_n4");
+    add_group_metrics(reporter, "chaos.clock_n4", result);
+    std::printf("  clock N=4: kappa %.4f, barrier worst %.0f ns\n",
+                result.mean.kappa,
+                result.group_stats.barrier_worst_residual_ns);
+  }
+
+  reporter.finish();
+  return 0;
+}

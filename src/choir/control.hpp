@@ -31,6 +31,10 @@ enum class Op : std::uint8_t {
   kStartReplay = 3,  ///< arg = wall-clock start time (ns)
   kClearRecording = 4,
   kPing = 5,
+  // Replay-group protocol (docs/DISTRIBUTED.md).
+  kGroupPrepare = 6,  ///< arg = round number; abort any stale replay, report readiness
+  kGroupResync = 7,   ///< arg = recorded-timeline horizon (ns); fast-forward past it
+  kBeacon = 8,        ///< member -> coordinator heartbeat; arg packed (see group.hpp)
 };
 
 /// Trailer flag bits (trailer byte 15).

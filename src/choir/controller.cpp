@@ -32,6 +32,11 @@ void Controller::attempt(const pktio::FlowAddress& flow,
         tm_retries_.add();
         attempt(flow, msg, attempt_no + 1);
       });
+    } else {
+      // The backoff window closed with attempts remaining: the command's
+      // redundancy budget is exhausted without any confirmation.
+      ++timeouts_;
+      tm_timeouts_.add();
     }
   }
 

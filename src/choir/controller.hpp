@@ -42,6 +42,7 @@ class Controller {
       tm_sent_ = telemetry::counter("controller.sent");
       tm_retries_ = telemetry::counter("controller.retries");
       tm_failures_ = telemetry::counter("controller.send_failures");
+      tm_timeouts_ = telemetry::counter("controller.timeouts");
     }
   }
 
@@ -82,6 +83,11 @@ class Controller {
   /// Attempts that failed locally (pool exhausted or tx ring rejected).
   /// These degrade to a counter — a remaining retry may still land.
   std::uint64_t send_failures() const { return send_failures_; }
+  /// Commands whose backoff schedule was cut off by the per-command
+  /// timeout with attempts still remaining — the command exhausted its
+  /// window without any confirmation it landed. Distinct from retries():
+  /// a retried command that fit its window never counts here.
+  std::uint64_t timeouts() const { return timeouts_; }
 
  private:
   void attempt(const pktio::FlowAddress& flow, const ControlMessage& msg,
@@ -96,9 +102,11 @@ class Controller {
   std::uint64_t sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t send_failures_ = 0;
+  std::uint64_t timeouts_ = 0;
   telemetry::CounterHandle tm_sent_;
   telemetry::CounterHandle tm_retries_;
   telemetry::CounterHandle tm_failures_;
+  telemetry::CounterHandle tm_timeouts_;
 };
 
 }  // namespace choir::app

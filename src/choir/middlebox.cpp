@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "choir/group.hpp"
 #include "common/expect.hpp"
 
 namespace choir::app {
@@ -43,6 +44,11 @@ Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
     tm_replay_resyncs_ = telemetry::counter(base + "replay_resyncs");
     tm_recordings_truncated_ =
         telemetry::counter(base + "recordings_truncated");
+    tm_group_beacons_ = telemetry::counter(base + "group_beacons");
+    tm_group_prepares_ = telemetry::counter(base + "group_prepares");
+    tm_group_resyncs_ = telemetry::counter(base + "group_resyncs");
+    tm_group_skipped_ = telemetry::counter(base + "group_skipped_packets");
+    tm_replays_aborted_ = telemetry::counter(base + "replays_aborted");
     tm_forward_latency_ = telemetry::histogram(base + "forward_latency_ns");
     tm_pacing_error_ = telemetry::histogram(base + "pacing_error_ns");
     tm_replay_slack_ = telemetry::histogram(base + "replay_slack_ns");
@@ -190,7 +196,135 @@ void Middlebox::handle_control(const ControlMessage& msg) {
       break;
     case Op::kPing:
       break;
+    case Op::kGroupPrepare:
+      group_prepare(static_cast<std::int64_t>(msg.arg));
+      break;
+    case Op::kGroupResync:
+      group_resync(static_cast<Ns>(msg.arg));
+      break;
+    case Op::kBeacon:
+      break;  // coordinator-bound; a member ignores stray beacons
   }
+}
+
+void Middlebox::enable_group(pktio::Mempool& pool,
+                             const GroupMemberOptions& options) {
+  CHOIR_EXPECT(!group_enabled_, "group-member mode already enabled");
+  CHOIR_EXPECT(options.beacon_interval > 0, "beacon interval must be > 0");
+  group_enabled_ = true;
+  group_ = options;
+  beacon_pool_ = &pool;
+  queue_.schedule_in(group_.beacon_interval, [this] { send_beacon(); });
+}
+
+Ns Middlebox::replay_progress() const {
+  if (recording_.empty()) return 0;
+  const std::uint64_t first = recording_.first_tsc();
+  if (replay_armed_) {
+    const std::uint64_t due = recording_.bursts()[replay_cursor_].tsc;
+    return clock_.tsc.ticks_to_ns(due - first);
+  }
+  if (done_round_ >= 0 && done_round_ == prepared_round_) {
+    return clock_.tsc.ticks_to_ns(recording_.last_tsc() - first);
+  }
+  return 0;
+}
+
+void Middlebox::send_beacon() {
+  if (!group_enabled_) return;
+  BeaconPhase phase = BeaconPhase::kIdle;
+  if (replay_armed_) {
+    phase = BeaconPhase::kReplaying;
+  } else if (done_round_ >= 0 && done_round_ == prepared_round_) {
+    phase = BeaconPhase::kDone;
+  } else if (prepared_round_ >= 0) {
+    phase = BeaconPhase::kReady;
+  }
+  const auto round = static_cast<std::uint16_t>(
+      prepared_round_ >= 0 ? (prepared_round_ & 0xfff) : 0);
+  ControlMessage msg;
+  msg.op = Op::kBeacon;
+  msg.arg = pack_beacon(static_cast<std::uint16_t>(config_.replayer_id),
+                        phase, round, replay_progress());
+  pktio::Mbuf* m = beacon_pool_->alloc();
+  if (m == nullptr) {
+    ++stats_.group_beacon_failures;
+  } else {
+    encode_control(m->frame, group_.beacon_flow, msg);
+    pktio::Mbuf* burst[1] = {m};
+    if (out_dev_.tx_burst(burst, 1) == 1) {
+      ++stats_.group_beacons_sent;
+      tm_group_beacons_.add();
+    } else {
+      pktio::Mempool::release(m);
+      ++stats_.group_beacon_failures;
+    }
+  }
+  queue_.schedule_in(group_.beacon_interval, [this] { send_beacon(); });
+}
+
+void Middlebox::abort_replay() {
+  if (!replay_armed_) return;
+  ++replay_epoch_;  // in-flight pace/emit events see a stale epoch and bail
+  replay_armed_ = false;
+  replay_cursor_ = 0;
+  ++stats_.replays_aborted;
+  tm_replays_aborted_.add();
+  if (auto* tracer = telemetry::tracer()) {
+    tracer->instant("replay-aborted", queue_.now(), tm_track_);
+  }
+}
+
+void Middlebox::group_prepare(std::int64_t round) {
+  // A prepare fences the round: any stale replay is cut so the member
+  // reports READY from a clean state.
+  abort_replay();
+  prepared_round_ = round;
+  done_round_ = -1;
+  ++stats_.group_prepares;
+  tm_group_prepares_.add();
+  if (auto* tracer = telemetry::tracer()) {
+    tracer->instant("group-prepare", queue_.now(), tm_track_);
+  }
+}
+
+void Middlebox::group_resync(Ns target_offset) {
+  if (!replay_armed_ || recording_.empty()) return;
+  // Fast-forward to the group's replay horizon: skip every burst whose
+  // recorded offset is below the target, then re-anchor the pacing so
+  // the first surviving burst is due now and the rest keep their
+  // recorded spacing.
+  const std::uint64_t first = recording_.first_tsc();
+  std::uint64_t skipped = 0;
+  while (replay_cursor_ < recording_.burst_count() &&
+         clock_.tsc.ticks_to_ns(recording_.bursts()[replay_cursor_].tsc -
+                                first) < target_offset) {
+    skipped += recording_.bursts()[replay_cursor_].pkts.size();
+    ++replay_cursor_;
+  }
+  ++replay_epoch_;
+  ++stats_.group_resyncs;
+  tm_group_resyncs_.add();
+  stats_.group_skipped_packets += skipped;
+  if (skipped > 0) tm_group_skipped_.add(skipped);
+  if (auto* tracer = telemetry::tracer()) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "{\"skipped\":%llu}",
+                  static_cast<unsigned long long>(skipped));
+    tracer->instant("group-resync", queue_.now(), tm_track_, args);
+  }
+  if (replay_cursor_ >= recording_.burst_count()) {
+    // The horizon is past the end of the shard: this replay is over.
+    replay_armed_ = false;
+    replay_cursor_ = 0;
+    if (group_enabled_) done_round_ = prepared_round_;
+    return;
+  }
+  replay_tsc_delta_ =
+      clock_.tsc.read(queue_.now()) - recording_.bursts()[replay_cursor_].tsc;
+  slip_until_ = 0;
+  loop_free_at_ = queue_.now();
+  replay_step();
 }
 
 void Middlebox::schedule_replay(Ns wall_start) {
@@ -270,7 +404,11 @@ void Middlebox::replay_step() {
   }
   t = std::max({t, loop_free_at_, slip_until_, queue_.now()});
 
-  queue_.schedule_at(t, [this] { emit_burst_from(0); });
+  const std::uint64_t epoch = replay_epoch_;
+  queue_.schedule_at(t, [this, epoch] {
+    if (epoch != replay_epoch_) return;  // prepare/resync superseded us
+    emit_burst_from(0);
+  });
 }
 
 void Middlebox::emit_burst_from(std::size_t offset) {
@@ -308,7 +446,11 @@ void Middlebox::emit_burst_from(std::size_t offset) {
       // (rte_eth_tx_burst semantics).
       ++stats_.tx_ring_retries;
       tm_tx_ring_retries_.add();
-      queue_.schedule_in(200, [this, offset] { emit_burst_from(offset); });
+      const std::uint64_t epoch = replay_epoch_;
+      queue_.schedule_in(200, [this, offset, epoch] {
+        if (epoch != replay_epoch_) return;  // prepare/resync superseded us
+        emit_burst_from(offset);
+      });
       return;
     }
   }
@@ -332,6 +474,7 @@ void Middlebox::finish_burst() {
     }
     replay_armed_ = false;
     replay_cursor_ = 0;
+    if (group_enabled_) done_round_ = prepared_round_;
   }
 }
 

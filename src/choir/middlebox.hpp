@@ -39,6 +39,13 @@ struct MiddleboxStats {
   std::uint64_t control_duplicates = 0;  ///< sequenced commands deduped
   std::uint64_t replay_resyncs = 0;   ///< pacing re-anchored after a stall
   std::uint64_t recordings_truncated = 0;  ///< finalized with overflow
+  // Group-member accounting (all zero unless enable_group() was called).
+  std::uint64_t group_beacons_sent = 0;
+  std::uint64_t group_beacon_failures = 0;  ///< pool dry or tx rejected
+  std::uint64_t group_prepares = 0;         ///< rounds fenced
+  std::uint64_t group_resyncs = 0;          ///< fast-forward commands obeyed
+  std::uint64_t group_skipped_packets = 0;  ///< packets jumped by resyncs
+  std::uint64_t replays_aborted = 0;        ///< replays cut by a prepare
 };
 
 class Middlebox {
@@ -57,6 +64,21 @@ class Middlebox {
   /// Schedule a replay to begin at wall-clock time `wall_start` as seen
   /// by this node's (PTP-disciplined) system clock.
   void schedule_replay(Ns wall_start);
+
+  /// Group-member mode (docs/DISTRIBUTED.md): the middlebox answers the
+  /// group prepare/resync commands and streams beacons to `beacon_flow`
+  /// every `beacon_interval` through its out-port (so NIC faults apply).
+  /// Beacons draw from `pool` — a dedicated pool, so beacon pressure
+  /// never competes with the data path. Deterministic: the beacon loop
+  /// consumes no RNG.
+  struct GroupMemberOptions {
+    pktio::FlowAddress beacon_flow;
+    Ns beacon_interval = microseconds(500);
+  };
+  void enable_group(pktio::Mempool& pool, const GroupMemberOptions& options);
+  bool group_enabled() const { return group_enabled_; }
+  /// Round last fenced by a kGroupPrepare (-1: none).
+  std::int64_t prepared_round() const { return prepared_round_; }
 
   bool recording_active() const { return recording_active_; }
   bool replay_active() const { return replay_cursor_ > 0 || replay_armed_; }
@@ -85,6 +107,11 @@ class Middlebox {
   void replay_step();
   void emit_burst_from(std::size_t offset);
   void finish_burst();
+  void abort_replay();
+  void group_prepare(std::int64_t round);
+  void group_resync(Ns target_offset);
+  void send_beacon();
+  Ns replay_progress() const;
 
   sim::EventQueue& queue_;
   sim::NodeClock& clock_;
@@ -102,12 +129,22 @@ class Middlebox {
   std::uint64_t overflow_at_record_start_ = 0;
   std::function<bool(const pktio::Frame&)> breakpoint_;
 
-  // Replay state machine (chained events, one per burst).
+  // Replay state machine (chained events, one per burst). The epoch
+  // invalidates in-flight pace/emit events when a group prepare or
+  // resync rewrites the replay state out from under them.
   bool replay_armed_ = false;
   std::size_t replay_cursor_ = 0;
   std::uint64_t replay_tsc_delta_ = 0;
+  std::uint64_t replay_epoch_ = 0;
   Ns loop_free_at_ = 0;
   Ns slip_until_ = 0;
+
+  // Group-member state.
+  bool group_enabled_ = false;
+  GroupMemberOptions group_;
+  pktio::Mempool* beacon_pool_ = nullptr;
+  std::int64_t prepared_round_ = -1;
+  std::int64_t done_round_ = -1;
 
   MiddleboxStats stats_;
 
@@ -123,6 +160,11 @@ class Middlebox {
   telemetry::CounterHandle tm_control_duplicates_;
   telemetry::CounterHandle tm_replay_resyncs_;
   telemetry::CounterHandle tm_recordings_truncated_;
+  telemetry::CounterHandle tm_group_beacons_;
+  telemetry::CounterHandle tm_group_prepares_;
+  telemetry::CounterHandle tm_group_resyncs_;
+  telemetry::CounterHandle tm_group_skipped_;
+  telemetry::CounterHandle tm_replays_aborted_;
   telemetry::HistogramHandle tm_forward_latency_;
   telemetry::HistogramHandle tm_pacing_error_;
   telemetry::HistogramHandle tm_replay_slack_;

@@ -111,4 +111,45 @@ FaultPlan chaos_plan(double intensity) {
   return plan;
 }
 
+FaultPlan group_control_loss_plan(int node, Ns start, Ns duration,
+                                  double p) {
+  CHOIR_EXPECT(node >= 0, "group fault presets index nodes from 0");
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDrop;
+  e.target = "link.to-repl" + std::to_string(node);
+  e.start = start;
+  e.duration = duration;
+  e.probability = clamp01(p);
+  plan.add(e);
+  return plan;
+}
+
+FaultPlan group_node_stall_plan(int node, Ns start, Ns duration) {
+  CHOIR_EXPECT(node >= 0, "group fault presets index nodes from 0");
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kNicTxStall;
+  e.target = "nic.repl" + std::to_string(node) + "-out";
+  e.start = start;
+  e.duration = duration;
+  plan.add(e);
+  return plan;
+}
+
+FaultPlan group_clock_degrade_plan(int node, Ns start, Ns duration,
+                                   double factor) {
+  CHOIR_EXPECT(node >= 0, "group fault presets index nodes from 0");
+  CHOIR_EXPECT(factor >= 0.0, "clock-degrade factor must be non-negative");
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kClockDegrade;
+  e.target = "clock.repl" + std::to_string(node);
+  e.start = start;
+  e.duration = duration;
+  e.factor = factor;
+  plan.add(e);
+  return plan;
+}
+
 }  // namespace choir::fault

@@ -29,4 +29,26 @@ FaultPlan chaos_mem_plan(double intensity);
 /// The full shipped chaos schedule: link + NIC + memory combined.
 FaultPlan chaos_plan(double intensity);
 
+// --- Replay-group failure presets (docs/DISTRIBUTED.md) ---------------
+//
+// These target the group-mode injection points of the experiment
+// topology by node index ("link.to-repl<i>", "nic.repl<i>-out",
+// "clock.repl<i>"), so callers place the window on the round they want
+// disturbed. They compose freely with the intensity plans above.
+
+/// Control-loss: i.i.d. drops on the switch->node command path of node
+/// `node` during the window. Commands ride the retry/backoff channel,
+/// so moderate p exercises dedup + retries; p = 1 severs the node.
+FaultPlan group_control_loss_plan(int node, Ns start, Ns duration, double p);
+
+/// Node-stall: node `node`'s replay out-port accepts nothing during the
+/// window — replay emission and progress beacons both go dark, which is
+/// what drives the coordinator's straggle/evict machinery.
+FaultPlan group_node_stall_plan(int node, Ns start, Ns duration);
+
+/// Clock-degrade: node `node`'s PTP residual sigma scales by `factor`
+/// during the window (barrier quality erodes; start skew grows).
+FaultPlan group_clock_degrade_plan(int node, Ns start, Ns duration,
+                                   double factor);
+
 }  // namespace choir::fault

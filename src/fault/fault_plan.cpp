@@ -26,6 +26,7 @@ constexpr KindInfo kKinds[] = {
     {FaultKind::kNicTxStall, "nic_tx_stall", FaultLayer::kNic},
     {FaultKind::kNicBurstTruncate, "nic_burst_truncate", FaultLayer::kNic},
     {FaultKind::kMemPressure, "mem_pressure", FaultLayer::kMempool},
+    {FaultKind::kClockDegrade, "clock_degrade", FaultLayer::kClock},
 };
 
 const KindInfo& info_of(FaultKind kind) {
@@ -121,6 +122,7 @@ void FaultPlan::validate() const {
     if (e.kind == FaultKind::kNicBurstTruncate && e.burst_cap == 0) {
       throw FormatError(where + "burst_cap must be >= 1");
     }
+    if (e.factor < 0.0) throw FormatError(where + "negative factor");
     if (e.target.empty()) throw FormatError(where + "empty target");
   }
 }
@@ -183,6 +185,18 @@ FaultPlan FaultPlan::parse(const std::string& text) {
           fail_at(line_no, "burst_cap out of range '" + value + "'");
         }
         event.burst_cap = static_cast<std::uint16_t>(cap);
+      } else if (key == "factor") {
+        std::size_t pos = 0;
+        double factor = 0.0;
+        try {
+          factor = std::stod(value, &pos);
+        } catch (const std::exception&) {
+          fail_at(line_no, "bad factor '" + value + "'");
+        }
+        if (pos != value.size() || factor < 0.0) {
+          fail_at(line_no, "factor out of range '" + value + "'");
+        }
+        event.factor = factor;
       } else {
         fail_at(line_no, "unknown key '" + key + "'");
       }
@@ -206,6 +220,9 @@ std::string FaultPlan::to_text() const {
     if (e.delay != 0) out << " delay=" << format_ns(e.delay);
     if (e.kind == FaultKind::kNicBurstTruncate) {
       out << " burst_cap=" << e.burst_cap;
+    }
+    if (e.kind == FaultKind::kClockDegrade) {
+      out << " factor=" << e.factor;
     }
     out << "\n";
   }

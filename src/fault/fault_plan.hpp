@@ -42,10 +42,12 @@ enum class FaultKind : std::uint8_t {
   kNicBurstTruncate, ///< window: bursts clamped to `burst_cap` packets
   // Memory layer (pktio/mbuf).
   kMemPressure, ///< window + p: allocations fail as if the pool were empty
+  // Clock layer (sim/ptp).
+  kClockDegrade, ///< window: a slave's PTP residual sigma scales by `factor`
 };
 
 /// Layer an event's kind applies to (wildcard targets bind per layer).
-enum class FaultLayer : std::uint8_t { kLink, kNic, kMempool };
+enum class FaultLayer : std::uint8_t { kLink, kNic, kMempool, kClock };
 
 FaultLayer layer_of(FaultKind kind);
 const char* kind_name(FaultKind kind);
@@ -60,6 +62,7 @@ struct FaultEvent {
   double probability = 1.0;   ///< per-frame / per-alloc chance, [0, 1]
   Ns delay = 0;               ///< displacement for duplicate/reorder
   std::uint16_t burst_cap = 1; ///< kNicBurstTruncate clamp
+  double factor = 1.0;        ///< kClockDegrade residual-sigma multiplier
 
   Ns end() const { return start + duration; }
   bool active_at(Ns t) const { return t >= start && t < end(); }

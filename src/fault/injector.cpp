@@ -155,6 +155,32 @@ struct FaultInjector::PoolPoint : pktio::MempoolFaultHook {
   }
 };
 
+struct FaultInjector::ClockPoint {
+  FaultInjector* parent;
+  sim::PtpService* ptp;
+  std::size_t slave;
+  std::string name;
+  std::vector<const FaultEvent*> events;
+
+  ClockPoint(FaultInjector* p, sim::PtpService* svc, std::size_t s,
+             std::string n, std::vector<const FaultEvent*> ev)
+      : parent(p), ptp(svc), slave(s), name(std::move(n)),
+        events(std::move(ev)) {}
+
+  double scale_at(Ns now) {
+    double scale = 1.0;
+    for (const FaultEvent* e : events) {
+      if (e->kind != FaultKind::kClockDegrade || !e->active_at(now)) continue;
+      scale *= e->factor;
+    }
+    if (scale != 1.0) {
+      ++parent->stats_.clock_degrades;
+      parent->tm_clock_degrades_.add();
+    }
+    return scale;
+  }
+};
+
 // --- FaultInjector ----------------------------------------------------
 
 FaultInjector::FaultInjector(sim::EventQueue& queue, FaultPlan plan, Rng rng,
@@ -174,6 +200,7 @@ FaultInjector::FaultInjector(sim::EventQueue& queue, FaultPlan plan, Rng rng,
     tm_tx_stalls_ = telemetry::counter("fault.tx_stalled_bursts");
     tm_truncated_ = telemetry::counter("fault.bursts_truncated");
     tm_denied_ = telemetry::counter("fault.allocs_denied");
+    tm_clock_degrades_ = telemetry::counter("fault.clock_degrades");
   }
 }
 
@@ -217,17 +244,29 @@ void FaultInjector::attach_pool(const std::string& name,
   pool.set_fault(pools_.back().get());
 }
 
+void FaultInjector::attach_clock(const std::string& name,
+                                 sim::PtpService& ptp, std::size_t slave) {
+  auto events = events_for(FaultLayer::kClock, name);
+  if (events.empty()) return;
+  clocks_.push_back(std::make_unique<ClockPoint>(this, &ptp, slave, name,
+                                                 std::move(events)));
+  ClockPoint* point = clocks_.back().get();
+  ptp.set_sigma_scale(slave, [point](Ns now) { return point->scale_at(now); });
+}
+
 void FaultInjector::detach_all() {
   for (auto& p : links_) p->link->set_fault(nullptr);
   for (auto& p : ports_) p->dev->set_fault(nullptr);
   for (auto& p : pools_) p->pool->set_fault(nullptr);
+  for (auto& p : clocks_) p->ptp->set_sigma_scale(p->slave, nullptr);
   links_.clear();
   ports_.clear();
   pools_.clear();
+  clocks_.clear();
 }
 
 std::size_t FaultInjector::attached_points() const {
-  return links_.size() + ports_.size() + pools_.size();
+  return links_.size() + ports_.size() + pools_.size() + clocks_.size();
 }
 
 }  // namespace choir::fault

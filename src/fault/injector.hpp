@@ -26,6 +26,7 @@
 #include "pktio/ethdev.hpp"
 #include "pktio/mbuf.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ptp.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace choir::fault {
@@ -41,11 +42,13 @@ struct FaultStats {
   std::uint64_t tx_stalled_bursts = 0;  ///< tx_burst calls accepted 0
   std::uint64_t bursts_truncated = 0;   ///< bursts clamped below request
   std::uint64_t allocs_denied = 0;      ///< forced mempool failures
+  std::uint64_t clock_degrades = 0;     ///< PTP syncs under a degrade window
 
   std::uint64_t total() const {
     return link_down_drops + frames_dropped + frames_corrupted +
            frames_duplicated + frames_reordered + rx_stalled_polls +
-           tx_stalled_bursts + bursts_truncated + allocs_denied;
+           tx_stalled_bursts + bursts_truncated + allocs_denied +
+           clock_degrades;
   }
 };
 
@@ -71,6 +74,10 @@ class FaultInjector {
   void attach_link(const std::string& name, net::Link& link);
   void attach_port(const std::string& name, pktio::EthDev& dev);
   void attach_pool(const std::string& name, pktio::Mempool& pool);
+  /// Clock injection point: PTP slave `slave` of `ptp` has its residual
+  /// sigma multiplied by the active kClockDegrade events' factors.
+  void attach_clock(const std::string& name, sim::PtpService& ptp,
+                    std::size_t slave);
 
   /// Remove every installed hook (also done by the destructor).
   void detach_all();
@@ -83,6 +90,7 @@ class FaultInjector {
   struct LinkPoint;
   struct PortPoint;
   struct PoolPoint;
+  struct ClockPoint;
 
   /// Plan events of `layer` matching `name`, in plan order.
   std::vector<const FaultEvent*> events_for(FaultLayer layer,
@@ -98,6 +106,7 @@ class FaultInjector {
   std::vector<std::unique_ptr<LinkPoint>> links_;
   std::vector<std::unique_ptr<PortPoint>> ports_;
   std::vector<std::unique_ptr<PoolPoint>> pools_;
+  std::vector<std::unique_ptr<ClockPoint>> clocks_;
 
   telemetry::CounterHandle tm_link_down_;
   telemetry::CounterHandle tm_dropped_;
@@ -108,6 +117,7 @@ class FaultInjector {
   telemetry::CounterHandle tm_tx_stalls_;
   telemetry::CounterHandle tm_truncated_;
   telemetry::CounterHandle tm_denied_;
+  telemetry::CounterHandle tm_clock_degrades_;
 };
 
 }  // namespace choir::fault

@@ -8,8 +8,12 @@
 // drifts at the clock's native ppm rate.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "sim/clock.hpp"
@@ -31,13 +35,18 @@ class PtpService {
   PtpService(EventQueue& queue, PtpConfig config, Rng rng)
       : queue_(queue), config_(config), rng_(rng) {}
 
-  /// Register a slave clock. The first sync happens immediately at
-  /// start(); clocks added later sync on the next cycle. A per-slave
-  /// residual sigma (ns) overrides the service default when >= 0 — e.g.
-  /// a node synchronized over best-effort in-band software PTP syncs far
-  /// worse than one using ptp_kvm against a GPS-fed host clock.
-  void add_slave(SystemClock* clock, double residual_sigma_ns = -1.0) {
-    slaves_.push_back(Slave{clock, residual_sigma_ns});
+  /// Register a slave clock; returns its index (stable, in add order).
+  /// The first sync happens immediately at start(); clocks added later
+  /// sync on the next cycle. A per-slave residual sigma (ns) overrides
+  /// the service default when >= 0 — e.g. a node synchronized over
+  /// best-effort in-band software PTP syncs far worse than one using
+  /// ptp_kvm against a GPS-fed host clock.
+  std::size_t add_slave(SystemClock* clock, double residual_sigma_ns = -1.0) {
+    Slave slave;
+    slave.clock = clock;
+    slave.residual_sigma_ns = residual_sigma_ns;
+    slaves_.push_back(std::move(slave));
+    return slaves_.size() - 1;
   }
 
   /// Begin the periodic sync cycle at the current simulated time.
@@ -48,17 +57,44 @@ class PtpService {
 
   /// Apply one synchronization round to every slave right now.
   void sync_all() {
-    for (const Slave& slave : slaves_) {
-      const double sigma = slave.residual_sigma_ns >= 0.0
-                               ? slave.residual_sigma_ns
-                               : config_.residual_sigma_ns;
-      slave.clock->set_offset(
-          queue_.now(), config_.master_offset_ns + rng_.normal(0.0, sigma));
+    for (Slave& slave : slaves_) {
+      double sigma = slave.residual_sigma_ns >= 0.0
+                         ? slave.residual_sigma_ns
+                         : config_.residual_sigma_ns;
+      // Fault-layer degradation (clock-degrade windows) scales the
+      // residual sigma; the normal draw itself is consumed either way,
+      // so a plan with no active window is bit-identical to no hook.
+      if (slave.sigma_scale) sigma *= slave.sigma_scale(queue_.now());
+      const double offset = config_.master_offset_ns + rng_.normal(0.0, sigma);
+      slave.clock->set_offset(queue_.now(), offset);
+      slave.last_offset_ns = offset;
+      slave.worst_abs_offset_ns =
+          std::max(slave.worst_abs_offset_ns, std::fabs(offset));
+      ++slave.syncs;
     }
     ++rounds_;
   }
 
   std::uint64_t rounds() const { return rounds_; }
+  std::size_t slave_count() const { return slaves_.size(); }
+
+  /// The residual offset (ns) applied to slave `i` on its most recent
+  /// sync — what the group barrier samples to judge sync quality.
+  double last_offset_ns(std::size_t i) const { return at(i).last_offset_ns; }
+  /// Largest |residual| ever applied to slave `i`.
+  double worst_abs_offset_ns(std::size_t i) const {
+    return at(i).worst_abs_offset_ns;
+  }
+  /// Synchronization rounds applied to slave `i` (counts only rounds
+  /// the slave was registered for, unlike the service-wide rounds()).
+  std::uint64_t syncs(std::size_t i) const { return at(i).syncs; }
+
+  /// Fault-layer hook: multiply slave `i`'s residual sigma by
+  /// `scale(now)` on every sync. Pass nullptr to clear.
+  void set_sigma_scale(std::size_t i, std::function<double(Ns)> scale) {
+    at(i).sigma_scale = std::move(scale);
+  }
+
   const PtpConfig& config() const { return config_; }
 
  private:
@@ -70,9 +106,22 @@ class PtpService {
   }
 
   struct Slave {
-    SystemClock* clock;
-    double residual_sigma_ns;
+    SystemClock* clock = nullptr;
+    double residual_sigma_ns = -1.0;
+    double last_offset_ns = 0.0;
+    double worst_abs_offset_ns = 0.0;
+    std::uint64_t syncs = 0;
+    std::function<double(Ns)> sigma_scale;
   };
+
+  Slave& at(std::size_t i) {
+    CHOIR_EXPECT(i < slaves_.size(), "PtpService: slave index out of range");
+    return slaves_[i];
+  }
+  const Slave& at(std::size_t i) const {
+    CHOIR_EXPECT(i < slaves_.size(), "PtpService: slave index out of range");
+    return slaves_[i];
+  }
 
   EventQueue& queue_;
   PtpConfig config_;

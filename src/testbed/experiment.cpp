@@ -32,7 +32,10 @@ namespace choir::testbed {
 
 namespace {
 
-// Node indices for stable MAC/IP assignment.
+// Node indices for stable MAC/IP assignment. Replayer i is 10+i (so at
+// most 64 replayers before colliding with the high generator range);
+// generators 0/1 keep their historic ids and later ones start at 102,
+// past every replayer id.
 enum NodeId : std::uint16_t {
   kGen0 = 1,
   kGen1 = 2,
@@ -42,7 +45,16 @@ enum NodeId : std::uint16_t {
   kNoiseSink = 6,
   kReplayer0 = 10,
   kReplayer1 = 11,
+  kGenHighBase = 100,  ///< generator i >= 2 gets kGenHighBase + i
 };
+
+std::uint16_t gen_node_id(int i) {
+  return static_cast<std::uint16_t>(i < 2 ? kGen0 + i : kGenHighBase + i);
+}
+
+std::uint16_t repl_node_id(int i) {
+  return static_cast<std::uint16_t>(kReplayer0 + i);
+}
 
 pktio::FlowAddress flow_between(std::uint16_t src, std::uint16_t dst,
                                 std::uint16_t src_port = 7000,
@@ -75,11 +87,18 @@ struct ReplayPath {
   std::unique_ptr<net::PhysNic> repl_out_phys;
   net::Vf* repl_out_vf = nullptr;
 
+  /// This node's index in the PTP sync group (group barriers sample it).
+  std::size_t ptp_slave = SIZE_MAX;
+  /// Switch egress port feeding the replayer's in-port (group-mode
+  /// control commands ride it; fault point "link.to-repl<i>").
+  std::size_t port_to_repl = 0;
+
   std::unique_ptr<sim::NodeClock> clock;
   // Pools are declared before the middlebox so they are destroyed after
   // it: the middlebox's recording holds references into gen_pool.
   std::unique_ptr<pktio::Mempool> gen_pool;
   std::unique_ptr<pktio::Mempool> ctl_pool;
+  std::unique_ptr<pktio::Mempool> beacon_pool;
   std::unique_ptr<app::Middlebox> middlebox;
   std::unique_ptr<app::Controller> controller;
   std::unique_ptr<gen::CbrGenerator> generator;
@@ -120,8 +139,13 @@ core::ConsistencyMetrics mean_metrics(
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   const EnvironmentPreset& env = config.env;
-  CHOIR_EXPECT(env.replayers == 1 || env.replayers == 2,
-               "experiments support 1 or 2 replayers");
+  const bool group_on = config.group.enabled;
+  CHOIR_EXPECT(env.replayers >= 1 && env.replayers <= 64,
+               "experiments support 1 to 64 replayers");
+  CHOIR_EXPECT(group_on || env.replayers <= 2,
+               "more than 2 replayers requires group mode");
+  CHOIR_EXPECT(!group_on || config.engine == ReplayEngine::kChoir,
+               "the replay group protocol drives the Choir engine only");
   CHOIR_EXPECT(config.runs >= 2, "need at least two runs to compare");
 
   // ---- Telemetry session ----------------------------------------------
@@ -186,7 +210,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                            sim::SystemClock(0, root.uniform(-0.5, 0.5))};
 
   const std::uint64_t total_packets = config.packets;
-  const std::uint64_t per_stream = total_packets / env.replayers;
   const double total_gap_ns = mean_iat_ns(env.frame_bytes, env.rate);
   const Ns trial_duration =
       static_cast<Ns>(total_gap_ns * static_cast<double>(total_packets));
@@ -226,19 +249,58 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const std::size_t rec_port_in = sw.add_port();  // egress to recorder
   sw.egress_link(rec_port_in).connect(rec_phys);
 
+  // ---- Controller node (group mode only) -------------------------------
+  // A dedicated coordinator node with its own clock, NIC, and switch
+  // ports. Everything here — including its RNG splits — is gated on
+  // group_on so legacy runs stay bit-identical to the committed
+  // baselines (Rng::split consumes parent state).
+  std::unique_ptr<sim::NodeClock> ctl_clock;
+  std::unique_ptr<net::Link> ctl_link;
+  std::unique_ptr<net::PhysNic> ctl_phys;
+  net::Vf* group_ctl_vf = nullptr;
+  std::unique_ptr<pktio::Mempool> group_ctl_pool;
+  std::unique_ptr<app::GroupCoordinator> group;
+  std::size_t ctl_port_out = 0;
+  if (group_on) {
+    ctl_clock = std::make_unique<sim::NodeClock>(
+        sim::NodeClock{sim::TscClock(2.5, root.uniform(-5, 5)),
+                       sim::SystemClock(0, root.uniform(-0.5, 0.5))});
+    ptp.add_slave(&ctl_clock->system);
+    ctl_link = std::make_unique<net::Link>(queue);
+    net::NicConfig ctl_nic = env.generator_nic;
+    ctl_nic.name = "ctl";
+    ctl_phys = std::make_unique<net::PhysNic>(queue, ctl_nic,
+                                              root.split(0x4754), *ctl_link);
+    group_ctl_vf = &ctl_phys->add_vf(pktio::mac_for_node(kController));
+    const std::size_t ctl_port_in = sw.add_port();
+    ctl_port_out = sw.add_port();
+    ctl_link->connect(sw.ingress(ctl_port_in));
+    sw.egress_link(ctl_port_out).connect(*ctl_phys);
+    // Group-mode routing is MAC-based: commands find each replayer's
+    // in-port, beacons find the coordinator, replayed/forwarded data
+    // finds the recorder. (Static per-port forwards would pin one
+    // destination per ingress, which only works for the 2-node wiring.)
+    sw.set_mac_route(pktio::mac_for_node(kController), ctl_port_out);
+    sw.set_mac_route(pktio::mac_for_node(kRecorder), rec_port_in);
+    group_ctl_pool = std::make_unique<pktio::Mempool>(256, "ctl");
+    group = std::make_unique<app::GroupCoordinator>(
+        queue, *ctl_clock, *group_ctl_vf, *group_ctl_pool,
+        config.group.config, root.split(0x4752), &ptp);
+    group->controller().set_retry(env.control_retry);
+  }
+
   // ---- Replay paths ----------------------------------------------------
   std::vector<ReplayPath> paths(static_cast<std::size_t>(env.replayers));
   for (int i = 0; i < env.replayers; ++i) {
     ReplayPath& p = paths[static_cast<std::size_t>(i)];
     Rng prng = root.split(0x5041 + static_cast<std::uint64_t>(i));
-    const auto gen_id = static_cast<std::uint16_t>(i == 0 ? kGen0 : kGen1);
-    const auto repl_id =
-        static_cast<std::uint16_t>(i == 0 ? kReplayer0 : kReplayer1);
+    const std::uint16_t gen_id = gen_node_id(i);
+    const std::uint16_t repl_id = repl_node_id(i);
 
     p.clock = std::make_unique<sim::NodeClock>(
         sim::NodeClock{sim::TscClock(2.5, prng.uniform(-5, 5)),
                        sim::SystemClock(0, prng.uniform(-0.5, 0.5))});
-    ptp.add_slave(&p.clock->system, sync_sigma);
+    p.ptp_slave = ptp.add_slave(&p.clock->system, sync_sigma);
 
     // Generator port -> switch -> replayer in-port.
     p.gen_to_switch = std::make_unique<net::Link>(queue);
@@ -247,9 +309,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     p.gen_phys = std::make_unique<net::PhysNic>(queue, gen_nic,
                                                 prng.split(1), *p.gen_to_switch);
     p.gen_vf = &p.gen_phys->add_vf(pktio::mac_for_node(gen_id));
-    p.ctl_vf = &p.gen_phys->add_vf(pktio::mac_for_node(kController));
+    if (!group_on) {
+      // Legacy wiring: the per-path controller shares the generator NIC.
+      p.ctl_vf = &p.gen_phys->add_vf(pktio::mac_for_node(kController));
+    }
     const std::size_t port_from_gen = sw.add_port();
     const std::size_t port_to_repl = sw.add_port();
+    p.port_to_repl = port_to_repl;
     p.gen_to_switch->connect(sw.ingress(port_from_gen));
     sw.set_port_forward(port_from_gen, port_to_repl);
 
@@ -272,7 +338,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         &p.repl_out_phys->add_vf(pktio::mac_for_node(repl_id), true);
     const std::size_t port_from_repl = sw.add_port();
     p.repl_out_to_switch->connect(sw.ingress(port_from_repl));
-    sw.set_port_forward(port_from_repl, rec_port_in);
+    if (group_on) {
+      // No static forward: the out-port carries both replayed data (to
+      // the recorder) and beacons (to the coordinator), split by the
+      // MAC routes installed above. Commands reach this replayer's
+      // in-port by its MAC.
+      sw.set_mac_route(pktio::mac_for_node(repl_id), port_to_repl);
+    } else {
+      sw.set_port_forward(port_from_repl, rec_port_in);
+    }
 
     app::ChoirConfig choir_cfg = env.choir;
     choir_cfg.replayer_id = repl_id;
@@ -283,12 +357,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     p.middlebox->start();
     p.ctl_flow = flow_between(kController, repl_id);
 
-    p.ctl_pool =
-        std::make_unique<pktio::Mempool>(64, "ctl" + std::to_string(i));
-    p.controller = std::make_unique<app::Controller>(queue, gen_clock,
-                                                     *p.ctl_vf, *p.ctl_pool);
-    p.controller->set_retry(env.control_retry);
+    if (group_on) {
+      // Group member: beacons to the coordinator from a dedicated pool;
+      // the coordinator owns the command side of the flow.
+      p.beacon_pool = std::make_unique<pktio::Mempool>(
+          64, "beacon" + std::to_string(i));
+      app::Middlebox::GroupMemberOptions member;
+      member.beacon_flow = flow_between(repl_id, kController);
+      member.beacon_interval = config.group.config.beacon_interval;
+      p.middlebox->enable_group(*p.beacon_pool, member);
+      group->add_member(repl_id, p.ctl_flow, p.ptp_slave);
+    } else {
+      p.ctl_pool =
+          std::make_unique<pktio::Mempool>(64, "ctl" + std::to_string(i));
+      p.controller = std::make_unique<app::Controller>(
+          queue, gen_clock, *p.ctl_vf, *p.ctl_pool);
+      p.controller->set_retry(env.control_retry);
+    }
 
+    const std::uint64_t per_stream =
+        packets_for_replayer(total_packets, env.replayers, i);
     p.gen_pool = std::make_unique<pktio::Mempool>(per_stream + 8192,
                                                   "gen" + std::to_string(i));
     gen::StreamConfig stream;
@@ -331,6 +419,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       client_vf = &paths[0].repl_out_phys->add_vf(
           pktio::mac_for_node(kNoiseClient));
       sink_vf = &rec_phys.add_vf(pktio::mac_for_node(kNoiseSink));
+      if (group_on) {
+        // The shared out-port has no static forward in group mode, so
+        // the noise stream needs its own MAC route to the recorder NIC.
+        sw.set_mac_route(pktio::mac_for_node(kNoiseSink), rec_port_in);
+      }
     } else {
       // Dedicated experiment NICs: noise flows over its own hardware.
       noise_link_a = std::make_unique<net::Link>(queue);
@@ -380,9 +473,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       injector->attach_port("nic.repl" + idx + "-out",
                             p.middlebox->out_dev());
       injector->attach_pool("pool.gen" + idx, *p.gen_pool);
-      injector->attach_pool("pool.ctl" + idx, *p.ctl_pool);
+      if (p.ctl_pool != nullptr) {
+        injector->attach_pool("pool.ctl" + idx, *p.ctl_pool);
+      }
+      if (group_on) {
+        // Group-mode fault points (see fault/chaos.hpp presets): the
+        // egress feeding node i's in-port (control loss), and node i's
+        // PTP servo (clock degradation).
+        injector->attach_link("link.to-repl" + idx,
+                              sw.egress_link(p.port_to_repl));
+        injector->attach_clock("clock.repl" + idx, ptp, p.ptp_slave);
+      }
     }
     injector->attach_link("link.to-recorder", sw.egress_link(rec_port_in));
+    if (group_on) {
+      injector->attach_link("link.ctl", *ctl_link);
+      injector->attach_link("link.to-ctl", sw.egress_link(ctl_port_out));
+      injector->attach_pool("pool.ctl", *group_ctl_pool);
+    }
   }
 
   // ---- Timeline --------------------------------------------------------
@@ -395,9 +503,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       std::max<Ns>(milliseconds(5), static_cast<Ns>(6.0 * sync_sigma));
   const Ns run_spacing = trial_duration + 2 * arm_margin + milliseconds(40);
 
+  if (group_on) {
+    group->start();
+    group->broadcast_record(milliseconds(1), record_end);
+  }
   for (auto& p : paths) {
-    p.controller->start_record(milliseconds(1), p.ctl_flow);
-    p.controller->stop_record(record_end, p.ctl_flow);
+    if (!group_on) {
+      p.controller->start_record(milliseconds(1), p.ctl_flow);
+      p.controller->stop_record(record_end, p.ctl_flow);
+    }
     if (p.generator != nullptr) p.generator->start();
     if (p.multi_generator != nullptr) p.multi_generator->start();
   }
@@ -449,6 +563,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     daemon.arm(wall_start - arm_margin,
                wall_start + trial_duration + arm_margin,
                &captures[static_cast<std::size_t>(r)]);
+    if (group_on) {
+      // One barrier-started group round per run: the prepare fence goes
+      // out well before the readiness deadline (>= 10 ms of beacon time
+      // at any arm margin), the barrier issues the synchronized start at
+      // the same dispatch lead the legacy controller used, and health
+      // checks run until the capture window closes.
+      group->schedule_round(r, wall_start - arm_margin - milliseconds(25),
+                            wall_start - milliseconds(20), wall_start,
+                            wall_start + trial_duration + arm_margin);
+      continue;
+    }
     for (auto& p : paths) {
       if (config.engine == ReplayEngine::kChoir) {
         p.controller->start_replay(wall_start - milliseconds(20), p.ctl_flow,
@@ -499,14 +624,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.recorded_packets += p.middlebox->recording().packet_count();
     result.replay_tx_drops += p.repl_out_phys->tx_port().drops();
     result.middlebox_stats.push_back(p.middlebox->stats());
-    result.control_retries += p.controller->retries();
-    result.control_send_failures += p.controller->send_failures();
+    if (p.controller != nullptr) {
+      result.control_retries += p.controller->retries();
+      result.control_send_failures += p.controller->send_failures();
+      result.control_timeouts += p.controller->timeouts();
+    }
     if (p.generator != nullptr) {
       result.generator_alloc_failures += p.generator->alloc_failures();
     }
     if (p.multi_generator != nullptr) {
       result.generator_alloc_failures += p.multi_generator->alloc_failures();
     }
+  }
+  if (group != nullptr) {
+    result.group_stats = group->stats();
+    result.group_members = group->members();
+    result.control_retries += group->controller().retries();
+    result.control_send_failures += group->controller().send_failures();
+    result.control_timeouts += group->controller().timeouts();
   }
   if (injector != nullptr) {
     result.fault_stats = injector->stats();

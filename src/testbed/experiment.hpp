@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "choir/group.hpp"
 #include "choir/middlebox.hpp"
 #include "core/metrics.hpp"
 #include "fault/injector.hpp"
@@ -84,6 +85,27 @@ struct FlowOptions {
   int shards = 8;
 };
 
+/// N-node replay group mode (docs/DISTRIBUTED.md). When enabled, the
+/// hardwired per-path controllers are replaced by one GroupCoordinator
+/// on a dedicated controller node: record and replay are commanded over
+/// its control NIC, every replay round is barrier-started against the
+/// members' readiness beacons, and stragglers are detected/resynced
+/// (or evicted) from progress beacons. Requires the Choir engine.
+struct GroupOptions {
+  bool enabled = false;
+  app::GroupConfig config;
+};
+
+/// Exact split of `total` packets over `replayers` streams: stream `i`
+/// gets the floor share plus one of the remainder packets (streams
+/// 0..total%replayers-1 absorb it), so the shares always sum to `total`.
+constexpr std::uint64_t packets_for_replayer(std::uint64_t total,
+                                             int replayers, int i) {
+  const auto n = static_cast<std::uint64_t>(replayers);
+  return total / n +
+         (static_cast<std::uint64_t>(i) < total % n ? 1 : 0);
+}
+
 struct ExperimentConfig {
   EnvironmentPreset env;
   /// Total packets per trial (split across replayers in dual topologies).
@@ -108,6 +130,7 @@ struct ExperimentConfig {
   TelemetryOptions telemetry;
   MonitorOptions monitor;
   FlowOptions flow;
+  GroupOptions group;
 };
 
 struct ExperimentResult {
@@ -132,7 +155,12 @@ struct ExperimentResult {
   fault::FaultStats fault_stats;           ///< injected-fault totals
   std::uint64_t control_retries = 0;       ///< redundant control sends
   std::uint64_t control_send_failures = 0; ///< locally failed attempts
+  std::uint64_t control_timeouts = 0;      ///< backoff windows exhausted
   std::uint64_t generator_alloc_failures = 0;  ///< frames lost at the gen
+
+  // Replay-group protocol outcome; populated iff config.group.enabled.
+  app::GroupStats group_stats;
+  std::vector<app::GroupMemberStatus> group_members;
 
   // Telemetry artifacts; populated iff config.telemetry.enabled.
   std::shared_ptr<telemetry::Registry> telemetry_registry;

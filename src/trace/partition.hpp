@@ -1,0 +1,34 @@
+// Trace partitioning for N-node replay (docs/DISTRIBUTED.md).
+//
+// A recorded trace destined for an N-node replay group is split into N
+// per-node sub-traces by flow shard: every packet of a flow lands on the
+// same node (flow::shard_of_key over the parsed 5-tuple), so per-flow
+// ordering and IAT structure survive the split intact and per-flow kappa
+// can attribute any replay damage to exactly one node's shard.
+//
+// Timelines are rebased together: one global epoch (the full trace's
+// first timestamp) is subtracted from every record, so the N sub-traces
+// stay mutually aligned — a barrier start at wall-clock T on every node
+// reproduces the original cross-flow interleaving up to sync error.
+// Records without a parseable UDP stack (no flow identity) go to node 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/capture.hpp"
+
+namespace choir::trace {
+
+struct PartitionResult {
+  std::vector<Capture> nodes;         ///< one sub-trace per node
+  std::uint64_t unclassified = 0;     ///< records defaulted to node 0
+  Ns epoch = 0;                       ///< timestamp subtracted from all
+};
+
+/// Split `capture` into `nodes` flow-sharded sub-traces with a common
+/// rebased timeline. Conservation: the per-node sizes always sum to
+/// capture.size(). Deterministic in the capture bytes alone.
+PartitionResult partition_capture(const Capture& capture, int nodes);
+
+}  // namespace choir::trace

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "choir/controller.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
 namespace choir::app {
 namespace {
 
@@ -79,6 +85,63 @@ TEST(Control, ControlFrameIsSmall) {
   pktio::Frame frame;
   encode_control(frame, ctl_flow(), ControlMessage{Op::kPing, 0});
   EXPECT_LE(frame.wire_len, 128u);
+}
+
+TEST(Control, GroupOpcodesRoundTrip) {
+  for (const Op op : {Op::kGroupPrepare, Op::kGroupResync, Op::kBeacon}) {
+    pktio::Frame frame;
+    encode_control(frame, ctl_flow(), ControlMessage{op, 0xdeadbeefULL});
+    const auto msg = decode_control(frame);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->op, op);
+    EXPECT_EQ(msg->arg, 0xdeadbeefULL);
+  }
+}
+
+TEST(Control, ControllerCountsTimeoutsDistinctFromRetries) {
+  // A command whose backoff window closes with attempts remaining is a
+  // timeout, not just "fewer retries": attempts at 0 and +1 ms fit the
+  // 2 ms window, the +3 ms attempt does not, and the cutoff increments
+  // timeouts() exactly once even though max_attempts was far from used.
+  sim::EventQueue queue;
+  net::Link stub(queue);
+  net::PhysNic phys(queue, net::NicConfig{}, Rng(11), stub);
+  net::Vf& vf = phys.add_vf(pktio::mac_for_node(3));
+  sim::NodeClock clock{sim::TscClock(2.5), sim::SystemClock()};
+  pktio::Mempool pool(64);
+  Controller ctl(queue, clock, vf, pool);
+  ControlRetryConfig retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff = milliseconds(1);
+  retry.multiplier = 2.0;
+  retry.timeout = milliseconds(2);
+  ctl.set_retry(retry);
+  ctl.start_record(0, ctl_flow());
+  queue.run();
+  EXPECT_EQ(ctl.sent(), 2u);      // t=0 and t=1ms
+  EXPECT_EQ(ctl.retries(), 1u);   // the 1 ms retransmission
+  EXPECT_EQ(ctl.timeouts(), 1u);  // the 3 ms attempt was cut off
+}
+
+TEST(Control, ControllerNoTimeoutWhenScheduleFits) {
+  sim::EventQueue queue;
+  net::Link stub(queue);
+  net::PhysNic phys(queue, net::NicConfig{}, Rng(12), stub);
+  net::Vf& vf = phys.add_vf(pktio::mac_for_node(3));
+  sim::NodeClock clock{sim::TscClock(2.5), sim::SystemClock()};
+  pktio::Mempool pool(64);
+  Controller ctl(queue, clock, vf, pool);
+  ControlRetryConfig retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = microseconds(100);
+  retry.multiplier = 2.0;
+  retry.timeout = milliseconds(4);  // 0, 100 us, 300 us all fit
+  ctl.set_retry(retry);
+  ctl.start_record(0, ctl_flow());
+  queue.run();
+  EXPECT_EQ(ctl.sent(), 3u);
+  EXPECT_EQ(ctl.retries(), 2u);
+  EXPECT_EQ(ctl.timeouts(), 0u);  // schedule exhausted by max_attempts
 }
 
 }  // namespace

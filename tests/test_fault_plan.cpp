@@ -19,9 +19,10 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
       "nic_rx_stall target=nic.repl0-in start=12ms duration=300us\n"
       "nic_tx_stall target=* start=14ms duration=250ns\n"
       "nic_burst_truncate target=* start=0 duration=1s burst_cap=4\n"
-      "mem_pressure target=pool.gen0 start=20ms duration=1ms p=1.0\n";
+      "mem_pressure target=pool.gen0 start=20ms duration=1ms p=1.0\n"
+      "clock_degrade target=clock.repl1 start=0 duration=2s factor=100\n";
   const FaultPlan plan = FaultPlan::parse(text);
-  ASSERT_EQ(plan.size(), 9u);
+  ASSERT_EQ(plan.size(), 10u);
   EXPECT_EQ(plan.events()[0].kind, FaultKind::kLinkDown);
   EXPECT_EQ(plan.events()[0].target, "link.gen0");
   EXPECT_EQ(plan.events()[0].start, milliseconds(1));
@@ -30,6 +31,8 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
   EXPECT_EQ(plan.events()[3].delay, microseconds(5));
   EXPECT_EQ(plan.events()[7].burst_cap, 4);
   EXPECT_EQ(layer_of(plan.events()[8].kind), FaultLayer::kMempool);
+  EXPECT_DOUBLE_EQ(plan.events()[9].factor, 100.0);
+  EXPECT_EQ(layer_of(plan.events()[9].kind), FaultLayer::kClock);
 
   // to_text() -> parse() is the identity on validated plans.
   const FaultPlan again = FaultPlan::parse(plan.to_text());
@@ -44,6 +47,7 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
         << i;
     EXPECT_EQ(again.events()[i].delay, plan.events()[i].delay) << i;
     EXPECT_EQ(again.events()[i].burst_cap, plan.events()[i].burst_cap) << i;
+    EXPECT_DOUBLE_EQ(again.events()[i].factor, plan.events()[i].factor) << i;
   }
 }
 

@@ -98,6 +98,61 @@ TEST(Ptp, ResidualDistributionMatchesSigma) {
   EXPECT_NEAR(std::sqrt(sq / rounds), 40.0, 4.0);
 }
 
+TEST(Ptp, ExposesLastAppliedResidualPerSlave) {
+  EventQueue q;
+  PtpConfig cfg;
+  cfg.interval = milliseconds(100);
+  cfg.residual_sigma_ns = 30.0;
+  PtpService ptp(q, cfg, Rng(21));
+  SystemClock a, b;
+  const std::size_t ia = ptp.add_slave(&a);
+  const std::size_t ib = ptp.add_slave(&b);
+  ASSERT_EQ(ptp.slave_count(), 2u);
+  ptp.start();
+  q.run_until(milliseconds(450));
+  // The getter reports exactly the offset the servo last applied.
+  EXPECT_EQ(ptp.last_offset_ns(ia), a.current_offset(q.now()));
+  EXPECT_EQ(ptp.last_offset_ns(ib), b.current_offset(q.now()));
+  EXPECT_NE(ptp.last_offset_ns(ia), ptp.last_offset_ns(ib));
+  // 5 rounds (initial + 4 intervals) counted per slave.
+  EXPECT_EQ(ptp.syncs(ia), 5u);
+  EXPECT_EQ(ptp.syncs(ib), 5u);
+  EXPECT_GE(ptp.worst_abs_offset_ns(ia),
+            std::fabs(ptp.last_offset_ns(ia)));
+}
+
+TEST(Ptp, SigmaScaleHookDegradesResiduals) {
+  // The fault-layer hook scales the residual sigma inside a window;
+  // outside it the scale is 1 and the draw sequence is untouched, so a
+  // hooked service with an inactive window matches an unhooked one.
+  EventQueue q1, q2;
+  PtpConfig cfg;
+  cfg.interval = milliseconds(10);
+  cfg.residual_sigma_ns = 20.0;
+  SystemClock plain, hooked;
+  PtpService p1(q1, cfg, Rng(31));
+  PtpService p2(q2, cfg, Rng(31));
+  p1.add_slave(&plain);
+  const std::size_t i2 = p2.add_slave(&hooked);
+  p2.set_sigma_scale(i2, [](Ns) { return 1.0; });
+  p1.start();
+  p2.start();
+  q1.run_until(milliseconds(100));
+  q2.run_until(milliseconds(100));
+  EXPECT_EQ(plain.current_offset(q1.now()), hooked.current_offset(q2.now()));
+
+  // A 100x window produces visibly larger residuals.
+  EventQueue q3;
+  SystemClock degraded;
+  PtpService p3(q3, cfg, Rng(31));
+  const std::size_t i3 = p3.add_slave(&degraded);
+  p3.set_sigma_scale(i3, [](Ns) { return 100.0; });
+  p3.start();
+  q3.run_until(milliseconds(100));
+  EXPECT_NEAR(p3.worst_abs_offset_ns(i3), 100.0 * p2.worst_abs_offset_ns(i2),
+              1e-6 * p3.worst_abs_offset_ns(i3));
+}
+
 TEST(Ptp, TwoSlavesGetIndependentResiduals) {
   EventQueue q;
   PtpConfig cfg;

@@ -11,6 +11,8 @@
 //   flows <env> [opts]        run a many-flow experiment, print per-flow
 //                             kappa aggregates and the worst flows
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
+//   partition <trace> <n> <dir>  split a trace into n per-node sub-traces
+//                             (flow-sharded, timelines rebased to 0)
 //   bench                     list benchmark suites
 //   bench <suite> [opts]      run a suite, write BENCH_*.json artifacts
 //   bench --compare A B       diff two BENCH_*.json directories
@@ -29,6 +31,11 @@
 //   --windows      (stats) also run the monitor and print per-window rows
 //   --per-flow     classify flows and evaluate per-flow kappa (see
 //                  docs/FLOWS.md); implied by `flows` and by --flows
+//   --group        run the replay-group protocol (coordinator node,
+//                  barrier start, beacons, straggler resync; see
+//                  docs/DISTRIBUTED.md)
+//   --nodes N      replay-node count (implies --group for N outside the
+//                  preset's hardwired 1..2 range)
 //   --flows N      synthetic flow count for the many-flow workload
 //   --flow-shards N  classifier shards / flow.<shard>.* namespaces
 //   --flow ID      (stats) show one flow; exits 1 when ID is absent
@@ -56,6 +63,7 @@
 #include "testbed/bench_suite.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scale.hpp"
+#include "trace/partition.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace_file.hpp"
 
@@ -77,6 +85,8 @@ int usage() {
       "  flows <env> [opts]            many-flow run, per-flow kappa\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
+      "  partition <trace> <n> <dir>   flow-shard a trace into n rebased\n"
+      "                                per-node .trc sub-traces\n"
       "  bench                         list benchmark suites\n"
       "  bench <suite> [--out DIR] [--jobs N] [--compare BASELINE]\n"
       "                [--tolerance PCT]\n"
@@ -89,7 +99,8 @@ int usage() {
       "choir|sleep|busywait|gapfill  --telemetry DIR\n"
       "         --monitor DIR  --window-packets N  --top-k N  --windows  "
       "--profile  --jobs N\n"
-      "         --per-flow  --flows N  --flow-shards N  --flow ID\n");
+      "         --per-flow  --flows N  --flow-shards N  --flow ID\n"
+      "         --group  --nodes N\n");
   return 2;
 }
 
@@ -132,6 +143,8 @@ struct Options {
   std::uint32_t flows = 0;    ///< synthetic flows (0 = subsystem default)
   int flow_shards = 8;        ///< classifier shards
   long long flow_id = -1;     ///< stats: show one flow (exit 1 if absent)
+  bool group = false;         ///< replay-group protocol (coordinator node)
+  int nodes = 0;              ///< replay-node count (0 = preset default)
   bool ok = true;
 };
 
@@ -154,6 +167,11 @@ Options parse_options(const std::vector<std::string>& args,
     }
     if (key == "--per-flow") {
       opt.per_flow = true;
+      ++i;
+      continue;
+    }
+    if (key == "--group") {
+      opt.group = true;
       ++i;
       continue;
     }
@@ -192,6 +210,11 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (key == "--flow") {
       opt.per_flow = true;
       opt.flow_id = std::atoll(value.c_str());
+    } else if (key == "--nodes") {
+      opt.nodes = std::atoi(value.c_str());
+      // The legacy hardwired path only knows 1..2 replayers; beyond that
+      // the run needs the group protocol anyway.
+      if (opt.nodes > 2) opt.group = true;
     } else if (key == "--engine") {
       if (value == "choir") {
         opt.engine = testbed::ReplayEngine::kChoir;
@@ -233,6 +256,8 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.flow.enabled = opt.per_flow;
   if (opt.flows > 0) cfg.flow.flows = opt.flows;
   cfg.flow.shards = opt.flow_shards;
+  if (opt.nodes > 0) cfg.env.replayers = opt.nodes;
+  cfg.group.enabled = opt.group;
   return run_experiment(cfg);
 }
 
@@ -277,6 +302,36 @@ int print_flow_detail(const testbed::ExperimentResult& result,
   return 0;
 }
 
+void print_group(const testbed::ExperimentResult& result) {
+  const auto& g = result.group_stats;
+  if (g.rounds_started == 0) return;
+  std::printf(
+      "-- replay group --\n"
+      "  rounds %llu started, %llu completed, %llu degraded; "
+      "barrier worst residual %.0f ns\n"
+      "  beacons %llu, stragglers %llu, resyncs %llu, rejoins %llu, "
+      "evictions %llu, ready timeouts %llu\n",
+      static_cast<unsigned long long>(g.rounds_started),
+      static_cast<unsigned long long>(g.rounds_completed),
+      static_cast<unsigned long long>(g.rounds_degraded),
+      g.barrier_worst_residual_ns,
+      static_cast<unsigned long long>(g.beacons_rx),
+      static_cast<unsigned long long>(g.stragglers_detected),
+      static_cast<unsigned long long>(g.resyncs_sent),
+      static_cast<unsigned long long>(g.rejoins),
+      static_cast<unsigned long long>(g.evictions),
+      static_cast<unsigned long long>(g.ready_timeouts));
+  for (const auto& m : result.group_members) {
+    std::printf(
+        "  node %-3u %-10s beacons %-6llu straggles %-3llu resyncs %-3llu "
+        "barrier residual %.0f ns\n",
+        m.id, app::member_state_name(m.state),
+        static_cast<unsigned long long>(m.beacons),
+        static_cast<unsigned long long>(m.straggles),
+        static_cast<unsigned long long>(m.resyncs), m.barrier_residual_ns);
+  }
+}
+
 void print_metrics(const testbed::ExperimentResult& result) {
   char run = 'B';
   for (const auto& c : result.comparisons) {
@@ -314,6 +369,7 @@ int cmd_run(const std::vector<std::string>& args, bool figures) {
               static_cast<unsigned long long>(result.recorded_packets),
               opt.runs);
   print_metrics(result);
+  print_group(result);
   print_flows(result, /*worst_limit=*/0);
   analysis::DeltaHistogram iat = analysis::DeltaHistogram::log_ns();
   analysis::DeltaHistogram lat = analysis::DeltaHistogram::log_ns();
@@ -455,6 +511,7 @@ int cmd_stats(const std::vector<std::string>& args) {
   std::printf("-- trace --\n  %zu events recorded, %llu dropped\n",
               tracer.events().size(),
               static_cast<unsigned long long>(tracer.dropped()));
+  print_group(result);
   print_flows(result, /*worst_limit=*/0);
   if (opt.flow_id >= 0 && print_flow_detail(result, opt.flow_id) != 0) {
     return 1;
@@ -499,6 +556,7 @@ int cmd_flows(const std::vector<std::string>& args) {
               env.name.c_str(),
               static_cast<unsigned long long>(result.recorded_packets),
               opt.runs, result.mean.kappa);
+  print_group(result);
   print_flows(result, /*worst_limit=*/10);
   if (opt.flow_id >= 0 && print_flow_detail(result, opt.flow_id) != 0) {
     return 1;
@@ -530,6 +588,7 @@ int cmd_save(const std::vector<std::string>& args) {
                 result.captures[r].size());
   }
   print_metrics(result);
+  print_group(result);
   return 0;
 }
 
@@ -555,6 +614,39 @@ int cmd_compare(const std::vector<std::string>& args) {
       analysis::format_metric(cmp.metrics.iat).c_str(),
       analysis::format_metric(cmp.metrics.latency).c_str(),
       cmp.metrics.kappa, 100.0 * cmp.fraction_iat_within(10.0));
+  return 0;
+}
+
+/// `partition <trace> <n> <dir>`: the offline half of the group story —
+/// split a recorded trace into the per-node sub-traces a replay group
+/// would load, one flow-sharded `.trc` per node, timelines rebased so
+/// every node replays relative to the same epoch.
+int cmd_partition(const std::vector<std::string>& args) {
+  if (args.size() < 5) return usage();
+  const int nodes = std::atoi(args[3].c_str());
+  if (nodes < 1 || nodes > 64) {
+    std::fprintf(stderr, "choirctl: node count must be in 1..64\n");
+    return 1;
+  }
+  const trace::Capture cap = load_capture(args[2]);
+  if (cap.size() == 0) {
+    std::fprintf(stderr, "choirctl: '%s' holds no packets\n", args[2].c_str());
+    return 1;
+  }
+  const trace::PartitionResult part =
+      trace::partition_capture(cap, static_cast<std::size_t>(nodes));
+  const std::string stem = std::filesystem::path(args[2]).stem().string();
+  std::filesystem::create_directories(args[4]);
+  for (std::size_t n = 0; n < part.nodes.size(); ++n) {
+    const std::string path =
+        args[4] + "/" + stem + ".node" + std::to_string(n) + ".trc";
+    trace::write_trace(part.nodes[n], path);
+    std::printf("wrote %s (%zu packets)\n", path.c_str(),
+                part.nodes[n].size());
+  }
+  std::printf("%zu packets -> %d nodes, epoch %lld ns, %llu unclassified\n",
+              cap.size(), nodes, static_cast<long long>(part.epoch),
+              static_cast<unsigned long long>(part.unclassified));
   return 0;
 }
 
@@ -648,6 +740,7 @@ int main(int argc, char** argv) {
     if (command == "monitor") return cmd_monitor(args);
     if (command == "flows") return cmd_flows(args);
     if (command == "compare") return cmd_compare(args);
+    if (command == "partition") return cmd_partition(args);
     if (command == "bench") return cmd_bench(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "choirctl: %s\n", error.what());
