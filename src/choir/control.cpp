@@ -8,6 +8,9 @@ void encode_control(pktio::Frame& frame, const pktio::FlowAddress& flow,
   addressed.dst_port = kControlPort;
   frame.wire_len = 64;  // minimum-ish control datagram
   pktio::write_eth_ipv4_udp(frame, addressed);
+  // Trace context travels as the elided payload (mbufs are recycled, so
+  // an untraced message must overwrite any stale token too).
+  frame.payload_token = msg.trace;
 
   frame.has_trailer = true;
   auto& t = frame.trailer;
@@ -43,6 +46,7 @@ std::optional<ControlMessage> decode_control(const pktio::Frame& frame) {
   if (msg.sequenced) {
     for (int i = 0; i < 4; ++i) msg.seq = (msg.seq << 8) | t[11 + i];
   }
+  msg.trace = frame.payload_token;
   return msg;
 }
 

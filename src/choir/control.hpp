@@ -46,6 +46,11 @@ struct ControlMessage {
   /// Idempotency sequence number; meaningful only when `sequenced`.
   std::uint32_t seq = 0;
   bool sequenced = false;
+  /// Causal trace context, packed trace[63:32] | span[31:0] (see
+  /// obs/trace_context.hpp). Rides the control datagram's payload (the
+  /// trailer is full), which the simulator models as the frame's
+  /// payload token. 0 — the legacy default — means untraced.
+  std::uint64_t trace = 0;
 };
 
 /// Build a control frame addressed by `flow` (dst UDP port is forced to

@@ -11,8 +11,11 @@
 // single-shot behaviour.
 #pragma once
 
+#include <vector>
+
 #include "choir/control.hpp"
 #include "common/units.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pktio/mbuf.hpp"
 #include "net/nic.hpp"
 #include "sim/clock.hpp"
@@ -20,6 +23,18 @@
 #include "telemetry/telemetry.hpp"
 
 namespace choir::app {
+
+/// Control-channel accounting toward one destination node (keyed by the
+/// node index recoverable from the command flow's destination IP), so a
+/// group summary can say *which* member's control path was lossy
+/// instead of one aggregate counter.
+struct ControlDestStats {
+  std::uint16_t node = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t timeouts = 0;
+};
 
 struct ControlRetryConfig {
   /// Total transmissions per command (1 = no redundancy, the default —
@@ -48,6 +63,14 @@ class Controller {
 
   void set_retry(const ControlRetryConfig& retry) { retry_ = retry; }
   const ControlRetryConfig& retry() const { return retry_; }
+
+  /// Attach the controlling node's flight recorder (null-check hook,
+  /// same zero-perturbation discipline as telemetry): every TX attempt,
+  /// local send failure, and retry-window timeout is ring-logged with
+  /// the message's trace context.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
 
   /// Send a control message to the middlebox addressed by `flow`, at
   /// simulated time `at` (the command dispatch instant). With retry
@@ -89,9 +112,20 @@ class Controller {
   /// a retried command that fit its window never counts here.
   std::uint64_t timeouts() const { return timeouts_; }
 
+  /// Per-destination accounting, in first-command order.
+  const std::vector<ControlDestStats>& dest_stats() const { return dests_; }
+  /// Stats toward one node; nullptr if never commanded.
+  const ControlDestStats* dest(std::uint16_t node) const {
+    for (const auto& d : dests_) {
+      if (d.node == node) return &d;
+    }
+    return nullptr;
+  }
+
  private:
   void attempt(const pktio::FlowAddress& flow, const ControlMessage& msg,
                std::uint32_t attempt_no);
+  ControlDestStats& dest_slot(std::uint16_t node);
 
   sim::EventQueue& queue_;
   sim::NodeClock& clock_;
@@ -103,6 +137,8 @@ class Controller {
   std::uint64_t retries_ = 0;
   std::uint64_t send_failures_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::vector<ControlDestStats> dests_;
+  obs::FlightRecorder* flight_ = nullptr;
   telemetry::CounterHandle tm_sent_;
   telemetry::CounterHandle tm_retries_;
   telemetry::CounterHandle tm_failures_;

@@ -83,6 +83,22 @@ std::size_t GroupCoordinator::add_member(std::uint16_t id,
 
 void GroupCoordinator::start() { loop_.start(); }
 
+void GroupCoordinator::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (recorder != nullptr) spans_.set_node(recorder->node());
+  ctl_.set_flight_recorder(recorder);
+}
+
+void GroupCoordinator::flight(obs::FlightEvent e, bool sampled) {
+  if (flight_ == nullptr) return;
+  e.t_wall = ctl_.wall_now();
+  if (sampled) {
+    flight_->record_sampled(e);
+  } else {
+    flight_->record(e);
+  }
+}
+
 int GroupCoordinator::surviving() const {
   int n = 0;
   for (const auto& m : members_) n += m.state != MemberState::kEvicted;
@@ -96,7 +112,7 @@ bool GroupCoordinator::on_poll() {
   for (std::uint16_t i = 0; i < n; ++i) {
     if (const auto msg = decode_control(burst[i]->frame);
         msg && msg->op == Op::kBeacon) {
-      handle_beacon(unpack_beacon(msg->arg));
+      handle_beacon(unpack_beacon(msg->arg), msg->trace);
     }
     pktio::Mempool::release(burst[i]);
   }
@@ -107,6 +123,15 @@ void GroupCoordinator::set_state(GroupMemberStatus& m, MemberState next) {
   if (m.state == next) return;
   m.state = next;
   tm_transitions_.add();
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kStateTransition;
+    e.peer = m.id;
+    e.code = static_cast<std::uint16_t>(next);
+    e.round = current_round_;
+    e.trace = obs::round_trace_id(current_round_);
+    flight(e);
+  }
   if (auto* tracer = telemetry::tracer()) {
     char args[64];
     std::snprintf(args, sizeof(args), "{\"member\":%u,\"state\":\"%s\"}",
@@ -115,7 +140,8 @@ void GroupCoordinator::set_state(GroupMemberStatus& m, MemberState next) {
   }
 }
 
-void GroupCoordinator::handle_beacon(const BeaconFields& fields) {
+void GroupCoordinator::handle_beacon(const BeaconFields& fields,
+                                     std::uint64_t trace_word) {
   GroupMemberStatus* member = nullptr;
   for (auto& m : members_) {
     if (m.id == fields.member) {
@@ -130,6 +156,26 @@ void GroupCoordinator::handle_beacon(const BeaconFields& fields) {
   ++stats_.beacons_rx;
   tm_beacons_.add();
   GroupMemberStatus& m = *member;
+  // Edge-triggered beacon logging: heartbeats arrive every
+  // beacon_interval, but only phase/round edges (and the first beacon)
+  // carry state information — recording just those keeps the ring from
+  // flushing real evidence with heartbeat spam.
+  if (m.last_beacon_at < 0 || fields.phase != m.phase ||
+      fields.round != m.beacon_round) {
+    const obs::TraceContext ctx = obs::unpack_trace(trace_word);
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kBeaconRecv;
+    e.peer = m.id;
+    e.code = static_cast<std::uint16_t>(Op::kBeacon);
+    e.a = fields.progress;
+    e.b = static_cast<std::uint64_t>(fields.phase);
+    e.round = obs::round_of_trace(ctx.trace) >= 0 ? obs::round_of_trace(ctx.trace)
+                                                  : static_cast<int>(fields.round);
+    e.trace = ctx.trace;
+    e.parent = ctx.span;
+    e.span = flight_ != nullptr ? spans_.next() : 0;
+    flight(e, /*sampled=*/true);
+  }
   m.last_beacon_at = queue_.now();
   m.progress = fields.progress;
   m.phase = fields.phase;
@@ -155,8 +201,14 @@ void GroupCoordinator::handle_beacon(const BeaconFields& fields) {
 
 void GroupCoordinator::broadcast_record(Ns start_at, Ns stop_at) {
   for (auto& m : members_) {
-    ctl_.send_at(start_at, m.ctl_flow, ControlMessage{Op::kStartRecord, 0});
-    ctl_.send_at(stop_at, m.ctl_flow, ControlMessage{Op::kStopRecord, 0});
+    ControlMessage start{Op::kStartRecord, 0};
+    start.trace = obs::pack_trace(
+        obs::TraceContext{obs::kRecordTraceId, spans_.next()});
+    ctl_.send_at(start_at, m.ctl_flow, start);
+    ControlMessage stop{Op::kStopRecord, 0};
+    stop.trace = obs::pack_trace(
+        obs::TraceContext{obs::kRecordTraceId, spans_.next()});
+    ctl_.send_at(stop_at, m.ctl_flow, stop);
   }
 }
 
@@ -174,11 +226,20 @@ void GroupCoordinator::schedule_round(int round, Ns prepare_at, Ns barrier_at,
 
 void GroupCoordinator::run_prepare(int round) {
   current_round_ = round;
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kRoundStart;
+    e.round = round;
+    e.trace = obs::round_trace_id(round);
+    e.span = spans_.next();
+    flight(e);
+  }
   for (auto& m : members_) {
     if (m.state == MemberState::kEvicted) continue;
-    ctl_.send_at(queue_.now(), m.ctl_flow,
-                 ControlMessage{Op::kGroupPrepare,
-                                static_cast<std::uint64_t>(round)});
+    ControlMessage prepare{Op::kGroupPrepare,
+                           static_cast<std::uint64_t>(round)};
+    prepare.trace = trace_for_round(round);
+    ctl_.send_at(queue_.now(), m.ctl_flow, prepare);
     set_state(m, MemberState::kJoining);
   }
 }
@@ -194,6 +255,13 @@ void GroupCoordinator::run_barrier(int round, Ns wall_start, Ns round_end) {
       stats_.barrier_worst_residual_ns =
           std::max(stats_.barrier_worst_residual_ns,
                    std::fabs(m.barrier_residual_ns));
+      obs::FlightEvent e{};
+      e.kind = obs::EventKind::kBarrierSample;
+      e.peer = m.id;
+      e.f = m.barrier_residual_ns;
+      e.round = round;
+      e.trace = obs::round_trace_id(round);
+      flight(e);
     }
     // Readiness deadline: only members that acknowledged THIS round's
     // prepare (their beacon carries the round number) pass the barrier.
@@ -205,9 +273,10 @@ void GroupCoordinator::run_barrier(int round, Ns wall_start, Ns round_end) {
       tm_ready_timeouts_.add();
       continue;
     }
-    ctl_.send_at(queue_.now(), m.ctl_flow,
-                 ControlMessage{Op::kStartReplay,
-                                static_cast<std::uint64_t>(wall_start)});
+    ControlMessage start{Op::kStartReplay,
+                         static_cast<std::uint64_t>(wall_start)};
+    start.trace = trace_for_round(round);
+    ctl_.send_at(queue_.now(), m.ctl_flow, start);
     m.started_round = round;
     ++stats_.members_started;
     set_state(m, MemberState::kReplaying);
@@ -237,6 +306,13 @@ void GroupCoordinator::check(int round, Ns round_end) {
       set_state(m, MemberState::kEvicted);
       ++stats_.evictions;
       tm_evictions_.add();
+      obs::FlightEvent e{};
+      e.kind = obs::EventKind::kEvict;
+      e.peer = m.id;
+      e.a = silence;
+      e.round = round;
+      e.trace = obs::round_trace_id(round);
+      flight(e);
       continue;
     }
     if (m.started_round != round || m.state == MemberState::kDone) continue;
@@ -248,13 +324,35 @@ void GroupCoordinator::check(int round, Ns round_end) {
       ++m.straggles;
       ++stats_.stragglers_detected;
       tm_stragglers_.add();
+      {
+        obs::FlightEvent e{};
+        e.kind = obs::EventKind::kStraggle;
+        e.peer = m.id;
+        e.a = lag;
+        e.b = static_cast<std::uint64_t>(horizon);
+        e.round = round;
+        e.trace = obs::round_trace_id(round);
+        flight(e);
+      }
       const Ns target = std::max<Ns>(0, horizon - cfg_.resync_slack);
-      ctl_.send_at(now, m.ctl_flow,
-                   ControlMessage{Op::kGroupResync,
-                                  static_cast<std::uint64_t>(target)});
+      ControlMessage resync{Op::kGroupResync,
+                            static_cast<std::uint64_t>(target)};
+      resync.trace = trace_for_round(round);
+      ctl_.send_at(now, m.ctl_flow, resync);
       ++m.resyncs;
       ++stats_.resyncs_sent;
       tm_resyncs_.add();
+      {
+        obs::FlightEvent e{};
+        e.kind = obs::EventKind::kResyncCmd;
+        e.peer = m.id;
+        e.a = target;
+        e.round = round;
+        const obs::TraceContext ctx = obs::unpack_trace(resync.trace);
+        e.trace = ctx.trace;
+        e.span = ctx.span;
+        flight(e);
+      }
       m.last_resync_at = now;
       set_state(m, MemberState::kResyncing);
     } else if ((m.state == MemberState::kStraggling ||
@@ -264,12 +362,24 @@ void GroupCoordinator::check(int round, Ns round_end) {
       // The previous resync evidently did not land (lossy control path
       // or the member moved on); re-command against the fresh horizon.
       const Ns target = std::max<Ns>(0, horizon - cfg_.resync_slack);
-      ctl_.send_at(now, m.ctl_flow,
-                   ControlMessage{Op::kGroupResync,
-                                  static_cast<std::uint64_t>(target)});
+      ControlMessage resync{Op::kGroupResync,
+                            static_cast<std::uint64_t>(target)};
+      resync.trace = trace_for_round(round);
+      ctl_.send_at(now, m.ctl_flow, resync);
       ++m.resyncs;
       ++stats_.resyncs_sent;
       tm_resyncs_.add();
+      {
+        obs::FlightEvent e{};
+        e.kind = obs::EventKind::kResyncCmd;
+        e.peer = m.id;
+        e.a = target;
+        e.round = round;
+        const obs::TraceContext ctx = obs::unpack_trace(resync.trace);
+        e.trace = ctx.trace;
+        e.span = ctx.span;
+        flight(e);
+      }
       m.last_resync_at = now;
     } else if ((m.state == MemberState::kStraggling ||
                 m.state == MemberState::kResyncing) &&
@@ -294,6 +404,15 @@ void GroupCoordinator::finalize_round(int round) {
     ++stats_.rounds_completed;
   } else {
     ++stats_.rounds_degraded;
+  }
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kRoundEnd;
+    e.round = round;
+    e.a = clean ? 1 : 0;
+    e.code = static_cast<std::uint16_t>(surviving());
+    e.trace = obs::round_trace_id(round);
+    flight(e);
   }
   if (auto* tracer = telemetry::tracer()) {
     char args[64];

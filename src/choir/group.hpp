@@ -31,6 +31,8 @@
 
 #include "choir/controller.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ethdev.hpp"
 #include "sim/clock.hpp"
@@ -108,6 +110,12 @@ struct GroupMemberStatus {
   std::uint64_t resyncs = 0;            ///< resync commands sent to it
   std::uint64_t straggles = 0;          ///< times flagged lagging
   double barrier_residual_ns = 0.0;     ///< PTP residual at the last barrier
+  // Control-channel accounting toward this member (filled from the
+  // coordinator's Controller::dest_stats by the experiment harness).
+  std::uint64_t ctl_sent = 0;
+  std::uint64_t ctl_retries = 0;
+  std::uint64_t ctl_send_failures = 0;
+  std::uint64_t ctl_timeouts = 0;
 };
 
 struct GroupStats {
@@ -142,6 +150,12 @@ class GroupCoordinator {
   /// Begin draining beacons.
   void start();
 
+  /// Attach the coordinator node's flight recorder (null-check hook):
+  /// round lifecycle, state transitions, barrier samples, straggle /
+  /// resync / eviction decisions, and beacon edges are ring-logged, and
+  /// the controller underneath logs every wire-level TX attempt.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   /// Command every member to record over [start_at, stop_at].
   void broadcast_record(Ns start_at, Ns stop_at);
 
@@ -161,12 +175,20 @@ class GroupCoordinator {
 
  private:
   bool on_poll();
-  void handle_beacon(const BeaconFields& fields);
+  void handle_beacon(const BeaconFields& fields, std::uint64_t trace_word);
   void run_prepare(int round);
   void run_barrier(int round, Ns wall_start, Ns round_end);
   void check(int round, Ns round_end);
   void finalize_round(int round);
   void set_state(GroupMemberStatus& m, MemberState next);
+  /// Ring-log a coordinator decision (no-op without a recorder; stamps
+  /// the coordinator's believed wall clock).
+  void flight(obs::FlightEvent e, bool sampled = false);
+  /// Fresh child span inside `round`'s trace, packed for the wire.
+  std::uint64_t trace_for_round(int round) {
+    return obs::pack_trace(
+        obs::TraceContext{obs::round_trace_id(round), spans_.next()});
+  }
 
   sim::EventQueue& queue_;
   pktio::EthDev dev_;
@@ -178,6 +200,8 @@ class GroupCoordinator {
   GroupStats stats_;
   int current_round_ = -1;
   Ns round_anchor_ = 0;  ///< the current round's barrier instant
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::SpanAllocator spans_;
 
   telemetry::CounterHandle tm_beacons_;
   telemetry::CounterHandle tm_transitions_;

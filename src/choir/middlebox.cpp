@@ -59,6 +59,16 @@ Middlebox::Middlebox(sim::EventQueue& queue, sim::NodeClock& clock,
 
 void Middlebox::start() { loop_.start(); }
 
+void Middlebox::flight(obs::FlightEvent e, bool sampled) {
+  if (flight_ == nullptr) return;
+  e.t_wall = clock_.system.read(queue_.now());
+  if (sampled) {
+    flight_->record_sampled(e);
+  } else {
+    flight_->record(e);
+  }
+}
+
 void Middlebox::start_record() {
   if (!recording_active_) {
     record_started_at_ = queue_.now();
@@ -181,6 +191,28 @@ void Middlebox::handle_control(const ControlMessage& msg) {
     }
     last_ctl_seq_ = msg.seq;
   }
+  if (msg.op != Op::kBeacon) {
+    // Adopt the command's trace context: the member's reaction span is
+    // a child of the coordinator's command span, and subsequent beacons
+    // carry it back so both directions link in the merged timeline.
+    const obs::TraceContext ctx = obs::unpack_trace(msg.trace);
+    std::uint32_t child = 0;
+    if (ctx.trace != 0) {
+      child = spans_.next();
+      group_ctx_ = obs::TraceContext{ctx.trace, child};
+    }
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kControlRecv;
+    e.code = static_cast<std::uint16_t>(msg.op);
+    e.a = static_cast<std::int64_t>(msg.arg);
+    e.b = msg.seq;
+    e.trace = ctx.trace;
+    e.parent = ctx.span;
+    e.span = child;
+    e.round = msg.op == Op::kGroupPrepare ? static_cast<int>(msg.arg)
+                                          : obs::round_of_trace(ctx.trace);
+    flight(e);
+  }
   switch (msg.op) {
     case Op::kStartRecord:
       start_record();
@@ -246,6 +278,23 @@ void Middlebox::send_beacon() {
   msg.op = Op::kBeacon;
   msg.arg = pack_beacon(static_cast<std::uint16_t>(config_.replayer_id),
                         phase, round, replay_progress());
+  msg.trace = obs::pack_trace(group_ctx_);
+  // Edge-triggered beacon logging (see GroupCoordinator::handle_beacon):
+  // only phase/round edges reach the ring.
+  const auto edge = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(phase) << 12) | round);
+  if (edge != last_beacon_logged_) {
+    last_beacon_logged_ = edge;
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kBeaconSend;
+    e.code = static_cast<std::uint16_t>(Op::kBeacon);
+    e.a = replay_progress();
+    e.b = static_cast<std::uint64_t>(phase);
+    e.round = static_cast<int>(prepared_round_);
+    e.trace = group_ctx_.trace;
+    e.span = group_ctx_.span;
+    flight(e, /*sampled=*/true);
+  }
   pktio::Mbuf* m = beacon_pool_->alloc();
   if (m == nullptr) {
     ++stats_.group_beacon_failures;
@@ -272,6 +321,14 @@ void Middlebox::abort_replay() {
   tm_replays_aborted_.add();
   if (auto* tracer = telemetry::tracer()) {
     tracer->instant("replay-aborted", queue_.now(), tm_track_);
+  }
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kReplayAbort;
+    e.round = static_cast<int>(prepared_round_);
+    e.trace = group_ctx_.trace;
+    e.parent = group_ctx_.span;
+    flight(e);
   }
 }
 
@@ -313,6 +370,16 @@ void Middlebox::group_resync(Ns target_offset) {
                   static_cast<unsigned long long>(skipped));
     tracer->instant("group-resync", queue_.now(), tm_track_, args);
   }
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kResyncApply;
+    e.a = target_offset;
+    e.b = skipped;
+    e.round = static_cast<int>(prepared_round_);
+    e.trace = group_ctx_.trace;
+    e.parent = group_ctx_.span;
+    flight(e);
+  }
   if (replay_cursor_ >= recording_.burst_count()) {
     // The horizon is past the end of the shard: this replay is over.
     replay_armed_ = false;
@@ -349,6 +416,15 @@ void Middlebox::begin_replay(Ns true_start, std::uint64_t tsc_delta) {
   slip_until_ = 0;
   ++stats_.replays_started;
   replay_started_at_ = queue_.now();
+  {
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kReplayStart;
+    e.a = true_start;
+    e.round = static_cast<int>(prepared_round_);
+    e.trace = group_ctx_.trace;
+    e.parent = group_ctx_.span;
+    flight(e);
+  }
   replay_step();
 }
 
@@ -475,6 +551,13 @@ void Middlebox::finish_burst() {
     replay_armed_ = false;
     replay_cursor_ = 0;
     if (group_enabled_) done_round_ = prepared_round_;
+    obs::FlightEvent e{};
+    e.kind = obs::EventKind::kReplayDone;
+    e.b = stats_.replayed_bursts;
+    e.round = static_cast<int>(prepared_round_);
+    e.trace = group_ctx_.trace;
+    e.parent = group_ctx_.span;
+    flight(e);
   }
 }
 

@@ -16,6 +16,8 @@
 #include "choir/control.hpp"
 #include "choir/recording.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ethdev.hpp"
 #include "sim/clock.hpp"
@@ -77,6 +79,16 @@ class Middlebox {
   };
   void enable_group(pktio::Mempool& pool, const GroupMemberOptions& options);
   bool group_enabled() const { return group_enabled_; }
+
+  /// Attach this node's flight recorder (null-check hook): executed
+  /// control ops, replay lifecycle, resync applications, and beacon
+  /// phase edges are ring-logged with the trace context each command
+  /// carried, so the member's reactions link back to the coordinator's
+  /// decisions in the merged timeline.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+    if (recorder != nullptr) spans_.set_node(recorder->node());
+  }
   /// Round last fenced by a kGroupPrepare (-1: none).
   std::int64_t prepared_round() const { return prepared_round_; }
 
@@ -112,6 +124,9 @@ class Middlebox {
   void group_resync(Ns target_offset);
   void send_beacon();
   Ns replay_progress() const;
+  /// Ring-log a member event (no-op without a recorder; stamps this
+  /// node's believed wall clock).
+  void flight(obs::FlightEvent e, bool sampled = false);
 
   sim::EventQueue& queue_;
   sim::NodeClock& clock_;
@@ -145,6 +160,14 @@ class Middlebox {
   pktio::Mempool* beacon_pool_ = nullptr;
   std::int64_t prepared_round_ = -1;
   std::int64_t done_round_ = -1;
+
+  // Flight recorder + causal context (docs/POSTMORTEM.md). group_ctx_
+  // is the member's reaction span for the last traced command it
+  // executed; beacons carry it back to the coordinator.
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::SpanAllocator spans_;
+  obs::TraceContext group_ctx_;
+  std::uint16_t last_beacon_logged_ = 0xffff;  ///< phase<<12 | round edge
 
   MiddleboxStats stats_;
 

@@ -25,27 +25,33 @@ struct FaultInjector::LinkPoint : net::LinkFaultHook {
   net::Link* link;
   std::string name;
   std::vector<const FaultEvent*> events;
+  std::vector<bool> notified;  ///< first-hit observer latch, per event
   Rng rng;
 
   LinkPoint(FaultInjector* p, net::Link* l, std::string n,
             std::vector<const FaultEvent*> ev, Rng r)
       : parent(p), link(l), name(std::move(n)), events(std::move(ev)),
-        rng(r) {}
+        notified(events.size(), false), rng(r) {}
 
   bool on_transmit(net::Link& via, pktio::Mbuf* pkt, Ns wire_departure,
                    Ns& extra_delay) override {
     FaultStats& s = parent->stats_;
-    for (const FaultEvent* e : events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent* e = events[i];
       if (!e->active_at(wire_departure)) continue;
       switch (e->kind) {
         case FaultKind::kLinkDown:
           ++s.link_down_drops;
           parent->tm_link_down_.add();
+          parent->notify_activation(name, notified, i, e->kind,
+                                    wire_departure);
           return false;
         case FaultKind::kLinkDrop:
           if (rng.chance(e->probability)) {
             ++s.frames_dropped;
             parent->tm_dropped_.add();
+            parent->notify_activation(name, notified, i, e->kind,
+                                      wire_departure);
             return false;
           }
           break;
@@ -54,10 +60,14 @@ struct FaultInjector::LinkPoint : net::LinkFaultHook {
             pkt->frame.invalid_fcs = true;
             ++s.frames_corrupted;
             parent->tm_corrupted_.add();
+            parent->notify_activation(name, notified, i, e->kind,
+                                      wire_departure);
           }
           break;
         case FaultKind::kLinkDuplicate:
           if (rng.chance(e->probability)) {
+            parent->notify_activation(name, notified, i, e->kind,
+                                      wire_departure);
             pktio::Mbuf* clone = parent->dup_pool_.alloc();
             if (clone == nullptr) {
               ++s.duplicate_pool_dry;
@@ -77,6 +87,8 @@ struct FaultInjector::LinkPoint : net::LinkFaultHook {
             extra_delay += e->delay;
             ++s.frames_reordered;
             parent->tm_reordered_.add();
+            parent->notify_activation(name, notified, i, e->kind,
+                                      wire_departure);
           }
           break;
         default:
@@ -92,16 +104,20 @@ struct FaultInjector::PortPoint : pktio::PortFaultHook {
   pktio::EthDev* dev;
   std::string name;
   std::vector<const FaultEvent*> events;
+  std::vector<bool> notified;  ///< first-hit observer latch, per event
 
   PortPoint(FaultInjector* p, pktio::EthDev* d, std::string n,
             std::vector<const FaultEvent*> ev)
-      : parent(p), dev(d), name(std::move(n)), events(std::move(ev)) {}
+      : parent(p), dev(d), name(std::move(n)), events(std::move(ev)),
+        notified(events.size(), false) {}
 
   std::uint16_t clamp(std::uint16_t n, bool rx) {
     const Ns now = parent->queue_.now();
     FaultStats& s = parent->stats_;
     std::uint16_t allowed = n;
-    for (const FaultEvent* e : events) {
+    std::size_t truncated_by = SIZE_MAX;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent* e = events[i];
       if (!e->active_at(now)) continue;
       if (e->kind == (rx ? FaultKind::kNicRxStall : FaultKind::kNicTxStall)) {
         if (rx) {
@@ -111,15 +127,19 @@ struct FaultInjector::PortPoint : pktio::PortFaultHook {
           ++s.tx_stalled_bursts;
           parent->tm_tx_stalls_.add();
         }
+        parent->notify_activation(name, notified, i, e->kind, now);
         return 0;
       }
       if (e->kind == FaultKind::kNicBurstTruncate && e->burst_cap < allowed) {
         allowed = e->burst_cap;
+        truncated_by = i;
       }
     }
     if (allowed < n) {
       ++s.bursts_truncated;
       parent->tm_truncated_.add();
+      parent->notify_activation(name, notified, truncated_by,
+                                events[truncated_by]->kind, now);
     }
     return allowed;
   }
@@ -133,21 +153,24 @@ struct FaultInjector::PoolPoint : pktio::MempoolFaultHook {
   pktio::Mempool* pool;
   std::string name;
   std::vector<const FaultEvent*> events;
+  std::vector<bool> notified;  ///< first-hit observer latch, per event
   Rng rng;
 
   PoolPoint(FaultInjector* p, pktio::Mempool* pl, std::string n,
             std::vector<const FaultEvent*> ev, Rng r)
       : parent(p), pool(pl), name(std::move(n)), events(std::move(ev)),
-        rng(r) {}
+        notified(events.size(), false), rng(r) {}
 
   bool deny_alloc() override {
     const Ns now = parent->queue_.now();
-    for (const FaultEvent* e : events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent* e = events[i];
       if (e->kind != FaultKind::kMemPressure || !e->active_at(now)) continue;
       // p = 1 (the default) is exact exhaustion and burns no RNG draw.
       if (e->probability >= 1.0 || rng.chance(e->probability)) {
         ++parent->stats_.allocs_denied;
         parent->tm_denied_.add();
+        parent->notify_activation(name, notified, i, e->kind, now);
         return true;
       }
     }
@@ -165,13 +188,17 @@ struct FaultInjector::ClockPoint {
   ClockPoint(FaultInjector* p, sim::PtpService* svc, std::size_t s,
              std::string n, std::vector<const FaultEvent*> ev)
       : parent(p), ptp(svc), slave(s), name(std::move(n)),
-        events(std::move(ev)) {}
+        events(std::move(ev)), notified(events.size(), false) {}
+
+  std::vector<bool> notified;  ///< first-hit observer latch, per event
 
   double scale_at(Ns now) {
     double scale = 1.0;
-    for (const FaultEvent* e : events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent* e = events[i];
       if (e->kind != FaultKind::kClockDegrade || !e->active_at(now)) continue;
       scale *= e->factor;
+      parent->notify_activation(name, notified, i, e->kind, now);
     }
     if (scale != 1.0) {
       ++parent->stats_.clock_degrades;
@@ -217,6 +244,14 @@ std::vector<const FaultEvent*> FaultInjector::events_for(
 
 Rng FaultInjector::point_rng(const std::string& name) const {
   return Rng(seed_).split(name_hash(name));
+}
+
+void FaultInjector::notify_activation(const std::string& point,
+                                      std::vector<bool>& notified,
+                                      std::size_t i, FaultKind kind, Ns now) {
+  if (i >= notified.size() || notified[i]) return;
+  notified[i] = true;
+  if (observer_) observer_(point, kind, now);
 }
 
 void FaultInjector::attach_link(const std::string& name, net::Link& link) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -82,6 +83,18 @@ class FaultInjector {
   /// Remove every installed hook (also done by the destructor).
   void detach_all();
 
+  /// Observation hook fired the FIRST time each (point, plan event) pair
+  /// actually damages traffic — i.e. when a fault window goes from
+  /// configured to active — with the point name, the fault kind, and the
+  /// simulated time of the first hit. Pure observation: it runs after
+  /// the fault decision, draws no RNG, and schedules nothing, so an
+  /// installed observer never perturbs the run. Pass nullptr to clear.
+  void set_observer(
+      std::function<void(const std::string& point, FaultKind kind, Ns now)>
+          observer) {
+    observer_ = std::move(observer);
+  }
+
   const FaultStats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
   std::size_t attached_points() const;
@@ -96,12 +109,16 @@ class FaultInjector {
   std::vector<const FaultEvent*> events_for(FaultLayer layer,
                                             const std::string& name) const;
   Rng point_rng(const std::string& name) const;
+  /// Fire the observer once per (point, event): latches `notified[i]`.
+  void notify_activation(const std::string& point, std::vector<bool>& notified,
+                         std::size_t i, FaultKind kind, Ns now);
 
   sim::EventQueue& queue_;
   FaultPlan plan_;
   std::uint64_t seed_;
   pktio::Mempool dup_pool_;
   FaultStats stats_;
+  std::function<void(const std::string&, FaultKind, Ns)> observer_;
 
   std::vector<std::unique_ptr<LinkPoint>> links_;
   std::vector<std::unique_ptr<PortPoint>> ports_;

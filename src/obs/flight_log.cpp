@@ -1,0 +1,125 @@
+#include "obs/flight_log.hpp"
+
+#include <algorithm>
+
+namespace choir::obs {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+FlightLog::FlightLog(std::size_t ring_capacity, int sample_every)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      sample_every_(sample_every < 1 ? 1 : sample_every) {}
+
+int FlightLog::index_of(std::uint16_t id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+FlightRecorder& FlightLog::add_node(std::uint16_t id,
+                                    const std::string& label) {
+  const int idx = index_of(id);
+  if (idx >= 0) return *rings_[static_cast<std::size_t>(idx)];
+  ids_.push_back(id);
+  rings_.push_back(
+      std::make_unique<FlightRecorder>(id, ring_capacity_, sample_every_));
+  labels_.push_back(label);
+  clocks_.emplace_back();
+  return *rings_.back();
+}
+
+FlightRecorder* FlightLog::node(std::uint16_t id) {
+  const int idx = index_of(id);
+  return idx >= 0 ? rings_[static_cast<std::size_t>(idx)].get() : nullptr;
+}
+
+const FlightRecorder* FlightLog::node(std::uint16_t id) const {
+  const int idx = index_of(id);
+  return idx >= 0 ? rings_[static_cast<std::size_t>(idx)].get() : nullptr;
+}
+
+const std::string& FlightLog::label(std::uint16_t id) const {
+  const int idx = index_of(id);
+  return idx >= 0 ? labels_[static_cast<std::size_t>(idx)] : kEmpty;
+}
+
+void FlightLog::note_sync(std::uint16_t id, Ns t_wall, double offset_ns) {
+  const int idx = index_of(id);
+  if (idx < 0) return;
+  clocks_[static_cast<std::size_t>(idx)].push_back(
+      ClockSample{t_wall, offset_ns});
+  FlightEvent e{};
+  e.kind = EventKind::kPtpSync;
+  e.t_wall = t_wall;
+  e.f = offset_ns;
+  rings_[static_cast<std::size_t>(idx)]->record(e);
+}
+
+const std::vector<ClockSample>& FlightLog::clock_history(
+    std::uint16_t id) const {
+  static const std::vector<ClockSample> empty;
+  const int idx = index_of(id);
+  return idx >= 0 ? clocks_[static_cast<std::size_t>(idx)] : empty;
+}
+
+double FlightLog::rebase(std::uint16_t id, Ns t_wall) const {
+  const std::vector<ClockSample>& history = clock_history(id);
+  if (history.empty()) return static_cast<double>(t_wall);
+  // Latest correction at or before t_wall; events before the first
+  // correction use the first (the servo had not yet measured them, and
+  // the earliest measurement is the closest evidence available).
+  double offset = history.front().offset_ns;
+  for (const ClockSample& s : history) {
+    if (s.t_wall > t_wall) break;
+    offset = s.offset_ns;
+  }
+  return static_cast<double>(t_wall) - offset;
+}
+
+std::uint16_t FlightLog::intern_point(const std::string& name,
+                                      std::uint16_t node_id) {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].name == name) return static_cast<std::uint16_t>(i);
+  }
+  points_.push_back(PointEntry{name, node_id});
+  return static_cast<std::uint16_t>(points_.size() - 1);
+}
+
+int FlightLog::find_point(const std::string& name) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::string& FlightLog::point_name(std::uint16_t point) const {
+  return point < points_.size() ? points_[point].name : kEmpty;
+}
+
+std::uint16_t FlightLog::point_node(std::uint16_t point) const {
+  return point < points_.size() ? points_[point].node : 0;
+}
+
+GroupTimeline merge_timeline(const FlightLog& log) {
+  GroupTimeline timeline;
+  std::vector<FlightEvent> ring;
+  for (std::uint16_t id : log.node_ids()) {
+    ring.clear();
+    log.node(id)->snapshot(ring);
+    for (const FlightEvent& e : ring) {
+      timeline.events.push_back(TimelineEvent{e, log.rebase(id, e.t_wall)});
+    }
+  }
+  std::stable_sort(timeline.events.begin(), timeline.events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     if (a.t_est != b.t_est) return a.t_est < b.t_est;
+                     if (a.e.node != b.e.node) return a.e.node < b.e.node;
+                     return a.e.seq < b.e.seq;
+                   });
+  return timeline;
+}
+
+}  // namespace choir::obs

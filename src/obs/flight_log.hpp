@@ -1,0 +1,107 @@
+// Group flight log: the per-node rings plus the side tables the merger
+// needs to turn them into one causally-ordered group timeline.
+//
+// The log owns one FlightRecorder per participating node, a label per
+// node for rendering, each node's PTP correction history (appended by
+// the servo's sync observer), and an interned table of fault-injection
+// point names with their owning node — so the injector's activation
+// observer can route a fault event into the right ring without
+// allocating on the hot path.
+//
+// merge_timeline() rebases every event by the recording node's PTP
+// residual at the time it was stamped — the same evidence a real
+// operator has: each node logs in its own clock, and the best available
+// alignment is the servo's correction history. The merged order is a
+// stable sort on (rebased time, node, ring sequence), which makes the
+// timeline a pure function of ring contents: byte-deterministic across
+// repeats and `--jobs` values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace choir::obs {
+
+/// One PTP servo correction: at believed time `t_wall` the node's
+/// clock was measured `offset_ns` ahead of true time.
+struct ClockSample {
+  Ns t_wall = 0;
+  double offset_ns = 0.0;
+};
+
+/// A fault-injection attach point registered with the log: the point's
+/// plan name and the node its activations should be blamed on.
+struct PointEntry {
+  std::string name;
+  std::uint16_t node = 0;
+};
+
+class FlightLog {
+ public:
+  explicit FlightLog(std::size_t ring_capacity = 4096, int sample_every = 1);
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  int sample_every() const { return sample_every_; }
+
+  /// Add (or fetch) the ring for node `id`. Idempotent; the label of
+  /// the first call wins.
+  FlightRecorder& add_node(std::uint16_t id, const std::string& label);
+  /// Ring for node `id`, or nullptr when the node is not in the log.
+  FlightRecorder* node(std::uint16_t id);
+  const FlightRecorder* node(std::uint16_t id) const;
+  const std::string& label(std::uint16_t id) const;
+  /// Node ids in registration order.
+  const std::vector<std::uint16_t>& node_ids() const { return ids_; }
+
+  /// Append a PTP correction to `id`'s clock history (and record a
+  /// kPtpSync event if the node has a ring). No-op for unknown nodes
+  /// without rings — callers register nodes first.
+  void note_sync(std::uint16_t id, Ns t_wall, double offset_ns);
+  const std::vector<ClockSample>& clock_history(std::uint16_t id) const;
+
+  /// Believed-to-estimated-true rebase: subtract the offset of the
+  /// latest correction at or before `t_wall` (first correction for
+  /// earlier events; zero with no history).
+  double rebase(std::uint16_t id, Ns t_wall) const;
+
+  /// Intern a fault attach point. Returns a dense point id; repeated
+  /// names return the first id.
+  std::uint16_t intern_point(const std::string& name, std::uint16_t node_id);
+  /// Point id for `name`, or -1 when never interned.
+  int find_point(const std::string& name) const;
+  const std::string& point_name(std::uint16_t point) const;
+  std::uint16_t point_node(std::uint16_t point) const;
+  std::size_t point_count() const { return points_.size(); }
+
+ private:
+  int index_of(std::uint16_t id) const;
+
+  std::size_t ring_capacity_;
+  int sample_every_;
+  std::vector<std::uint16_t> ids_;
+  // unique_ptr, not by value: add_node hands out FlightRecorder*
+  // hook pointers that must survive later registrations.
+  std::vector<std::unique_ptr<FlightRecorder>> rings_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<ClockSample>> clocks_;
+  std::vector<PointEntry> points_;
+};
+
+/// One merged-timeline entry: the original ring event plus the rebased
+/// estimate of when it truly happened.
+struct TimelineEvent {
+  FlightEvent e;
+  double t_est = 0.0;  ///< estimated true time, ns
+};
+
+struct GroupTimeline {
+  std::vector<TimelineEvent> events;  ///< causal order (see header)
+};
+
+GroupTimeline merge_timeline(const FlightLog& log);
+
+}  // namespace choir::obs

@@ -1,0 +1,74 @@
+#include "obs/flight_recorder.hpp"
+
+namespace choir::obs {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kControlSend:
+      return "control_send";
+    case EventKind::kControlRecv:
+      return "control_recv";
+    case EventKind::kControlTimeout:
+      return "control_timeout";
+    case EventKind::kControlSendFail:
+      return "control_send_fail";
+    case EventKind::kBeaconSend:
+      return "beacon_send";
+    case EventKind::kBeaconRecv:
+      return "beacon_recv";
+    case EventKind::kStateTransition:
+      return "state_transition";
+    case EventKind::kBarrierSample:
+      return "barrier_sample";
+    case EventKind::kPtpSync:
+      return "ptp_sync";
+    case EventKind::kFaultActive:
+      return "fault_active";
+    case EventKind::kStraggle:
+      return "straggle";
+    case EventKind::kResyncCmd:
+      return "resync_cmd";
+    case EventKind::kResyncApply:
+      return "resync_apply";
+    case EventKind::kEvict:
+      return "evict";
+    case EventKind::kRoundStart:
+      return "round_start";
+    case EventKind::kRoundEnd:
+      return "round_end";
+    case EventKind::kReplayStart:
+      return "replay_start";
+    case EventKind::kReplayDone:
+      return "replay_done";
+    case EventKind::kReplayAbort:
+      return "replay_abort";
+    case EventKind::kKappaRound:
+      return "kappa_round";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::uint16_t node, std::size_t capacity,
+                               int sample_every)
+    : ring_(capacity == 0 ? 1 : capacity),
+      node_(node),
+      sample_every_(sample_every < 1 ? 1 : sample_every) {}
+
+void FlightRecorder::record(const FlightEvent& event) {
+  FlightEvent& slot = ring_[head_];
+  slot = event;
+  slot.node = node_;
+  slot.seq = seq_++;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+void FlightRecorder::snapshot(std::vector<FlightEvent>& out) const {
+  // Oldest surviving slot: `head_` once wrapped, slot 0 before.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,107 @@
+// Per-node flight recorder: a fixed-size, allocation-free ring of typed
+// events (docs/POSTMORTEM.md).
+//
+// Every node in a replay group owns one ring. Producers (coordinator,
+// controller, middlebox, PTP servo, fault injector) record through the
+// same zero-perturbation discipline as telemetry: hooks are plain
+// pointers checked for null, recording draws no RNG, schedules nothing,
+// and never allocates — the ring is sized once at construction and
+// wraps by overwriting the oldest slot, exactly like an aircraft
+// flight recorder. Timestamps are the recording node's *believed* wall
+// clock, so the merger in flight_log.hpp can rebase rings by PTP
+// residual history into one group timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace choir::obs {
+
+enum class EventKind : std::uint8_t {
+  kControlSend = 1,   ///< wire-level control TX attempt (incl. retries)
+  kControlRecv = 2,   ///< control op accepted by a member
+  kControlTimeout = 3,  ///< retry budget exhausted for a sequenced op
+  kControlSendFail = 4,  ///< alloc/TX rejection on the control path
+  kBeaconSend = 5,    ///< member heartbeat TX (edge-triggered, sampled)
+  kBeaconRecv = 6,    ///< coordinator heartbeat RX (edge-triggered, sampled)
+  kStateTransition = 7,  ///< member state machine edge (coordinator view)
+  kBarrierSample = 8,    ///< PTP residual sampled at a barrier
+  kPtpSync = 9,       ///< PTP servo correction applied to this node
+  kFaultActive = 10,  ///< fault-plan event first fired at a point
+  kStraggle = 11,     ///< member fell behind the group horizon
+  kResyncCmd = 12,    ///< coordinator issued a fast-forward target
+  kResyncApply = 13,  ///< member skipped to the resync target
+  kEvict = 14,        ///< member evicted after beacon silence
+  kRoundStart = 15,   ///< coordinator opened a replay round
+  kRoundEnd = 16,     ///< coordinator finalized a replay round
+  kReplayStart = 17,  ///< member began paced replay TX
+  kReplayDone = 18,   ///< member drained its replay burst list
+  kReplayAbort = 19,  ///< member dropped an in-flight replay
+  kKappaRound = 20,   ///< per-round kappa vs the reference run (post-hoc)
+};
+
+const char* kind_name(EventKind kind);
+
+/// One ring slot. Fixed-size POD; `code`, `a`, `b`, and `f` are
+/// kind-specific (see docs/POSTMORTEM.md for the per-kind schema).
+struct FlightEvent {
+  Ns t_wall = 0;             ///< recording node's believed wall clock
+  std::uint64_t seq = 0;     ///< per-ring monotone sequence (assigned)
+  std::int64_t a = 0;        ///< kind-specific scalar (lag, target, ...)
+  std::uint64_t b = 0;       ///< kind-specific scalar (progress, flags)
+  double f = 0.0;            ///< kind-specific real (residual ns, kappa)
+  std::uint32_t trace = 0;   ///< causal episode id (0 = untraced)
+  std::uint32_t span = 0;    ///< this event's span id
+  std::uint32_t parent = 0;  ///< parent span id (0 = root)
+  std::int32_t round = -1;   ///< replay round (-1 = none / record phase)
+  EventKind kind = EventKind::kControlSend;
+  std::uint16_t node = 0;    ///< recording node (assigned)
+  std::uint16_t peer = 0;    ///< counterpart node (0 = none)
+  std::uint16_t code = 0;    ///< kind-specific discriminator (op, state)
+};
+
+/// Fixed-capacity overwrite-oldest event ring for one node.
+class FlightRecorder {
+ public:
+  FlightRecorder(std::uint16_t node, std::size_t capacity,
+                 int sample_every = 1);
+
+  std::uint16_t node() const { return node_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return size_; }
+  /// Total events accepted over the ring's lifetime (>= size once
+  /// wrapped; the difference is how many slots were overwritten).
+  std::uint64_t recorded() const { return seq_; }
+  std::uint64_t overwritten() const { return seq_ - size_; }
+
+  /// True when round-scoped high-volume events should be recorded for
+  /// `round` under the `--trace-sample N` policy (every Nth round;
+  /// negative rounds — the record phase — always record).
+  bool round_sampled(int round) const {
+    return sample_every_ <= 1 || round < 0 || round % sample_every_ == 0;
+  }
+
+  /// Record unconditionally. Stamps node and sequence; never allocates.
+  void record(const FlightEvent& event);
+
+  /// Record iff the event's round is sampled (high-volume producers).
+  void record_sampled(const FlightEvent& event) {
+    if (round_sampled(event.round)) record(event);
+  }
+
+  /// Surviving events oldest-first (unwrapped), appended to `out`.
+  void snapshot(std::vector<FlightEvent>& out) const;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::uint16_t node_;
+  int sample_every_;
+  std::size_t head_ = 0;  ///< next slot to write
+  std::size_t size_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace choir::obs

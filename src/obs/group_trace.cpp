@@ -1,0 +1,287 @@
+#include "obs/group_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/json.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+/// Control opcode names, mirroring choir::app::Op (choir/control.hpp).
+/// Kept local so the observability layer stays below the control plane
+/// in the link order; the numbering is part of the wire format and
+/// changes with it.
+const char* ctl_op_name(std::uint16_t code) {
+  switch (code) {
+    case 1:
+      return "start_record";
+    case 2:
+      return "stop_record";
+    case 3:
+      return "start_replay";
+    case 4:
+      return "clear_recording";
+    case 5:
+      return "ping";
+    case 6:
+      return "group_prepare";
+    case 7:
+      return "group_resync";
+    case 8:
+      return "beacon";
+    default:
+      return "op?";
+  }
+}
+
+bool is_control_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kControlSend:
+    case EventKind::kControlRecv:
+    case EventKind::kControlTimeout:
+    case EventKind::kControlSendFail:
+    case EventKind::kBeaconSend:
+    case EventKind::kBeaconRecv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Chrome-trace timestamps are microseconds; 3 decimals keeps the
+/// nanosecond grid exactly (same convention as telemetry::Tracer).
+std::string us_repr(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1000.0);
+  return std::string(buf);
+}
+
+void append_args(json::Writer& w, const FlightLog& log,
+                 const TimelineEvent& ev) {
+  const FlightEvent& e = ev.e;
+  w.key("args");
+  w.begin_object();
+  if (is_control_kind(e.kind)) {
+    w.key("op");
+    w.string(ctl_op_name(e.code));
+  } else if (e.kind == EventKind::kFaultActive) {
+    w.key("fault");
+    w.string(fault::kind_name(static_cast<fault::FaultKind>(e.code)));
+    w.key("point");
+    w.string(log.point_name(static_cast<std::uint16_t>(e.b)));
+  } else {
+    w.key("code");
+    w.number(static_cast<std::uint64_t>(e.code));
+  }
+  w.key("round");
+  w.number(static_cast<std::int64_t>(e.round));
+  w.key("peer");
+  w.number(static_cast<std::uint64_t>(e.peer));
+  w.key("a");
+  w.number(static_cast<std::int64_t>(e.a));
+  w.key("b");
+  w.number(e.b);
+  w.key("f");
+  w.number(e.f);
+  w.key("trace");
+  w.number(static_cast<std::uint64_t>(e.trace));
+  w.key("span");
+  w.number(static_cast<std::uint64_t>(e.span));
+  w.key("parent");
+  w.number(static_cast<std::uint64_t>(e.parent));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string render_group_trace(const FlightLog& log,
+                               const GroupTimeline& timeline) {
+  // Flow arrows bind a producer's carried span to every event that
+  // consumed it; emit only two-sided flows so the trace stays tidy.
+  std::set<std::uint32_t> produced;
+  std::set<std::uint32_t> consumed;
+  for (const TimelineEvent& ev : timeline.events) {
+    const FlightEvent& e = ev.e;
+    if ((e.kind == EventKind::kControlSend ||
+         e.kind == EventKind::kBeaconSend) &&
+        e.span != 0) {
+      produced.insert(e.span);
+    }
+    if ((e.kind == EventKind::kControlRecv ||
+         e.kind == EventKind::kBeaconRecv) &&
+        e.parent != 0) {
+      consumed.insert(e.parent);
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event_json) {
+    if (!first) out += ',';
+    first = false;
+    out += event_json;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+       "\"args\":{\"name\":\"choir replay group\"}}");
+  std::size_t sort_index = 0;
+  for (std::uint16_t id : log.node_ids()) {
+    const std::string tid = std::to_string(id);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" + tid +
+         ",\"args\":{\"name\":\"" + json::escape(log.label(id)) + " (node " +
+         tid + ")\"}}");
+    emit("{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         tid + ",\"args\":{\"sort_index\":" + std::to_string(sort_index++) +
+         "}}");
+  }
+
+  // Replay rounds as complete-span bars on the track that opened them.
+  std::vector<std::pair<const TimelineEvent*, const TimelineEvent*>> rounds;
+  for (const TimelineEvent& ev : timeline.events) {
+    if (ev.e.kind == EventKind::kRoundStart) {
+      rounds.emplace_back(&ev, nullptr);
+    } else if (ev.e.kind == EventKind::kRoundEnd) {
+      for (auto& r : rounds) {
+        if (r.second == nullptr && r.first->e.round == ev.e.round &&
+            r.first->e.node == ev.e.node) {
+          r.second = &ev;
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& r : rounds) {
+    if (r.second == nullptr) continue;
+    emit("{\"name\":\"round " + std::to_string(r.first->e.round) +
+         "\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":0,\"tid\":" +
+         std::to_string(r.first->e.node) + ",\"ts\":" +
+         us_repr(r.first->t_est) + ",\"dur\":" +
+         us_repr(r.second->t_est - r.first->t_est) + "}");
+  }
+
+  for (const TimelineEvent& ev : timeline.events) {
+    const FlightEvent& e = ev.e;
+    json::Writer w;
+    w.begin_object();
+    w.key("name");
+    w.string(kind_name(e.kind));
+    w.key("cat");
+    w.string("obs");
+    w.key("ph");
+    w.string("i");
+    w.key("pid");
+    w.number(std::uint64_t{0});
+    w.key("tid");
+    w.number(static_cast<std::uint64_t>(e.node));
+    w.key("s");
+    w.string("t");
+    append_args(w, log, ev);
+    w.end_object();
+    // Splice the unquoted ts in by hand: the writer has no raw-number
+    // channel and %.17g would widen every timestamp needlessly.
+    std::string obj = w.str();
+    obj.insert(obj.size() - 1, ",\"ts\":" + us_repr(ev.t_est));
+    emit(obj);
+
+    const bool sender = (e.kind == EventKind::kControlSend ||
+                         e.kind == EventKind::kBeaconSend) &&
+                        e.span != 0 && consumed.count(e.span) != 0;
+    const bool receiver = (e.kind == EventKind::kControlRecv ||
+                           e.kind == EventKind::kBeaconRecv) &&
+                          e.parent != 0 && produced.count(e.parent) != 0;
+    if (sender || receiver) {
+      const std::uint32_t id = sender ? e.span : e.parent;
+      emit(std::string("{\"name\":\"ctl\",\"cat\":\"ctlflow\",\"ph\":\"") +
+           (sender ? "s" : "f") + "\"" + (sender ? "" : ",\"bp\":\"e\"") +
+           ",\"id\":" + std::to_string(id) + ",\"pid\":0,\"tid\":" +
+           std::to_string(e.node) + ",\"ts\":" + us_repr(ev.t_est) + "}");
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string render_events_jsonl(const FlightLog& log,
+                                const GroupTimeline& timeline) {
+  std::string out;
+  std::uint64_t index = 0;
+  for (const TimelineEvent& ev : timeline.events) {
+    const FlightEvent& e = ev.e;
+    json::Writer w;
+    w.begin_object();
+    w.key("i");
+    w.number(index++);
+    w.key("t_est_ns");
+    w.number(ev.t_est);
+    w.key("t_wall_ns");
+    w.number(static_cast<std::int64_t>(e.t_wall));
+    w.key("node");
+    w.number(static_cast<std::uint64_t>(e.node));
+    w.key("label");
+    w.string(log.label(e.node));
+    w.key("kind");
+    w.string(kind_name(e.kind));
+    if (is_control_kind(e.kind)) {
+      w.key("op");
+      w.string(ctl_op_name(e.code));
+    }
+    if (e.kind == EventKind::kFaultActive) {
+      w.key("fault");
+      w.string(fault::kind_name(static_cast<fault::FaultKind>(e.code)));
+      w.key("point");
+      w.string(log.point_name(static_cast<std::uint16_t>(e.b)));
+    }
+    w.key("round");
+    w.number(static_cast<std::int64_t>(e.round));
+    w.key("peer");
+    w.number(static_cast<std::uint64_t>(e.peer));
+    w.key("code");
+    w.number(static_cast<std::uint64_t>(e.code));
+    w.key("a");
+    w.number(static_cast<std::int64_t>(e.a));
+    w.key("b");
+    w.number(e.b);
+    w.key("f");
+    w.number(e.f);
+    w.key("trace");
+    w.number(static_cast<std::uint64_t>(e.trace));
+    w.key("span");
+    w.number(static_cast<std::uint64_t>(e.span));
+    w.key("parent");
+    w.number(static_cast<std::uint64_t>(e.parent));
+    w.key("seq");
+    w.number(e.seq);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+void write_text(const std::string& text, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHOIR_EXPECT(out.good(), "cannot open for writing: " + path);
+  out << text;
+  CHOIR_EXPECT(out.good(), "write failed: " + path);
+}
+}  // namespace
+
+void write_group_trace(const FlightLog& log, const GroupTimeline& timeline,
+                       const std::string& path) {
+  write_text(render_group_trace(log, timeline), path);
+}
+
+void write_events_jsonl(const FlightLog& log, const GroupTimeline& timeline,
+                        const std::string& path) {
+  write_text(render_events_jsonl(log, timeline), path);
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,233 @@
+#include "obs/postmortem.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "fault/fault_plan.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+std::string fault_desc(const FlightLog& log, const FlightEvent& e) {
+  return std::string(
+             fault::kind_name(static_cast<fault::FaultKind>(e.code))) +
+         " at " + log.point_name(static_cast<std::uint16_t>(e.b));
+}
+
+std::string ms_repr(double ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* outcome_kind_name(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kEviction:
+      return "eviction";
+    case OutcomeKind::kResync:
+      return "resync";
+    case OutcomeKind::kKappaGate:
+      return "kappa_gate";
+    case OutcomeKind::kClockAnomaly:
+      return "clock_anomaly";
+  }
+  return "unknown";
+}
+
+PostmortemReport analyze_timeline(const FlightLog& log,
+                                  const GroupTimeline& timeline,
+                                  const PostmortemOptions& options) {
+  PostmortemReport report;
+  const auto& events = timeline.events;
+
+  // --- Pass 1: collect outcomes, coalescing repeats per (member, round)
+  // so a resync retry storm reads as one incident.
+  std::set<std::pair<std::uint32_t, int>> seen_resync;
+  std::set<std::pair<std::uint32_t, int>> seen_anomaly;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i].e;
+    Outcome out;
+    out.event = i;
+    out.round = e.round;
+    switch (e.kind) {
+      case EventKind::kEvict:
+        out.kind = OutcomeKind::kEviction;
+        out.node = e.peer;
+        break;
+      case EventKind::kResyncCmd:
+        if (!seen_resync.insert({e.peer, e.round}).second) continue;
+        out.kind = OutcomeKind::kResync;
+        out.node = e.peer;
+        break;
+      case EventKind::kKappaRound:
+        if (options.kappa_gate < 0.0 || e.f >= options.kappa_gate) continue;
+        out.kind = OutcomeKind::kKappaGate;
+        report.kappa_gate_failed = true;
+        break;
+      case EventKind::kBarrierSample:
+        if (std::fabs(e.f) <= options.residual_gate_ns) continue;
+        if (!seen_anomaly.insert({e.peer, e.round}).second) continue;
+        out.kind = OutcomeKind::kClockAnomaly;
+        out.node = e.peer;
+        break;
+      default:
+        continue;
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+
+  // --- Pass 2: walk backward from each outcome to its root.
+  for (Outcome& out : report.outcomes) {
+    const TimelineEvent& oev = events[out.event];
+
+    // A kappa failure names no member by itself; borrow the blame from
+    // protocol incidents (eviction, resync, straggle) in the same round.
+    if (out.kind == OutcomeKind::kKappaGate) {
+      for (std::size_t j = out.event; j-- > 0;) {
+        const FlightEvent& e = events[j].e;
+        if (e.round != out.round) continue;
+        if (e.kind == EventKind::kEvict || e.kind == EventKind::kResyncCmd ||
+            e.kind == EventKind::kStraggle) {
+          out.node = e.peer;
+          break;
+        }
+      }
+    }
+
+    // Earliest correlated fault activation over the whole prefix —
+    // fault windows routinely open before the round they damage (a
+    // clock-degrade runs from t=0 but only shows at the barrier). On
+    // the blamed node first; any fault as fallback.
+    std::size_t root_fault = events.size();
+    std::size_t any_fault = events.size();
+    for (std::size_t j = 0; j < out.event; ++j) {
+      const FlightEvent& e = events[j].e;
+      if (e.kind != EventKind::kFaultActive) continue;
+      if (any_fault == events.size()) any_fault = j;
+      if (out.node != 0 &&
+          log.point_node(static_cast<std::uint16_t>(e.b)) == out.node) {
+        root_fault = j;
+        break;
+      }
+    }
+    if (root_fault == events.size()) root_fault = any_fault;
+
+    if (root_fault != events.size()) {
+      const FlightEvent& f = events[root_fault].e;
+      out.chain.push_back(CauseStep{
+          root_fault, "fault window opened: " + fault_desc(log, f)});
+      out.root_cause =
+          "fault " + fault_desc(log, f) + " (node " +
+          std::to_string(log.point_node(static_cast<std::uint16_t>(f.b))) +
+          ")";
+    }
+
+    // Intermediate evidence touching the blamed member between root and
+    // outcome, in timeline order.
+    const double from =
+        out.chain.empty() ? 0.0 : events[out.chain.front().event].t_est;
+    std::size_t first_straggle = events.size();
+    std::size_t first_resync = events.size();
+    std::size_t last_beacon = events.size();
+    std::size_t worst_barrier = events.size();
+    for (std::size_t j = 0; j < out.event; ++j) {
+      const FlightEvent& e = events[j].e;
+      if (events[j].t_est < from || e.peer != out.node || out.node == 0)
+        continue;
+      switch (e.kind) {
+        case EventKind::kStraggle:
+          if (first_straggle == events.size()) first_straggle = j;
+          break;
+        case EventKind::kResyncCmd:
+          if (first_resync == events.size()) first_resync = j;
+          break;
+        case EventKind::kBeaconRecv:
+          last_beacon = j;
+          break;
+        case EventKind::kBarrierSample:
+          if (worst_barrier == events.size() ||
+              std::fabs(e.f) > std::fabs(events[worst_barrier].e.f)) {
+            worst_barrier = j;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (out.kind == OutcomeKind::kClockAnomaly &&
+        worst_barrier != events.size()) {
+      out.chain.push_back(CauseStep{
+          worst_barrier,
+          "barrier residual " + ms_repr(events[worst_barrier].e.f) +
+              " already anomalous"});
+    }
+    if (first_straggle != events.size()) {
+      out.chain.push_back(CauseStep{
+          first_straggle,
+          "fell " + ms_repr(static_cast<double>(events[first_straggle].e.a)) +
+              " behind the group horizon"});
+    }
+    if (first_resync != events.size() && out.kind != OutcomeKind::kResync) {
+      out.chain.push_back(
+          CauseStep{first_resync, "coordinator issued fast-forward resync"});
+    }
+    if (out.kind == OutcomeKind::kEviction && last_beacon != events.size()) {
+      out.chain.push_back(CauseStep{last_beacon, "last heartbeat received"});
+    }
+
+    switch (out.kind) {
+      case OutcomeKind::kEviction:
+        out.chain.push_back(CauseStep{
+            out.event, "evicted after " +
+                           ms_repr(static_cast<double>(oev.e.a)) +
+                           " of beacon silence"});
+        if (out.root_cause.empty()) {
+          out.root_cause = "beacon silence from node " +
+                           std::to_string(out.node) + " (" +
+                           ms_repr(static_cast<double>(oev.e.a)) + ")";
+        }
+        break;
+      case OutcomeKind::kResync:
+        out.chain.push_back(CauseStep{
+            out.event, "resync commanded to horizon-slack target"});
+        if (out.root_cause.empty()) {
+          out.root_cause = "node " + std::to_string(out.node) +
+                           " straggled behind the group horizon";
+        }
+        break;
+      case OutcomeKind::kKappaGate: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", oev.e.f);
+        out.chain.push_back(CauseStep{
+            out.event, std::string("round kappa ") + buf + " below gate"});
+        if (out.root_cause.empty()) {
+          out.root_cause = std::string("kappa ") + buf + " below gate in round " +
+                           std::to_string(out.round) + " (no correlated fault)";
+        }
+        break;
+      }
+      case OutcomeKind::kClockAnomaly:
+        out.chain.push_back(CauseStep{
+            out.event,
+            "barrier residual " + ms_repr(oev.e.f) + " past the clock gate"});
+        if (out.root_cause.empty()) {
+          out.root_cause = "clock anomaly on node " + std::to_string(out.node) +
+                           " (residual " + ms_repr(oev.e.f) + ")";
+        }
+        break;
+    }
+
+    // Chain steps were appended root-first by construction; the blame
+    // span runs from the root to the outcome on the merged timeline.
+    out.blame_from_ns = events[out.chain.front().event].t_est;
+    out.blame_to_ns = oev.t_est;
+  }
+  return report;
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,70 @@
+// Root-cause analysis over a merged group timeline (docs/POSTMORTEM.md).
+//
+// A postmortem starts from bad outcomes — evictions, straggler
+// resyncs, per-round kappa below a gate, barrier residuals past a
+// clock-sanity gate — and walks the merged causal graph backward from
+// each outcome to the earliest correlated event. The walk prefers hard
+// evidence in priority order: a fault-plan activation on the blamed
+// node, then a fault anywhere on the control path, then a clock
+// anomaly, then the beacon gap itself. Everything in between that
+// touches the blamed member (straggle detection, resync command, last
+// heartbeat) becomes a step in the reported causal chain, and the
+// [root, outcome] interval becomes the member's blame span.
+//
+// The analyzer is a pure function of the timeline: no RNG, no clocks,
+// no filesystem — rendering lives in analysis/postmortem.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_log.hpp"
+
+namespace choir::obs {
+
+struct PostmortemOptions {
+  /// Flag rounds whose kappa falls below this; negative disables.
+  double kappa_gate = -1.0;
+  /// Flag barrier samples whose |residual| exceeds this many ns.
+  double residual_gate_ns = 10'000.0;
+};
+
+enum class OutcomeKind : std::uint8_t {
+  kEviction = 1,
+  kResync = 2,
+  kKappaGate = 3,
+  kClockAnomaly = 4,
+};
+
+const char* outcome_kind_name(OutcomeKind kind);
+
+/// One step of a causal chain: an event index into the timeline plus
+/// its role in the story.
+struct CauseStep {
+  std::size_t event = 0;
+  std::string note;
+};
+
+struct Outcome {
+  OutcomeKind kind = OutcomeKind::kEviction;
+  std::size_t event = 0;        ///< the outcome's timeline index
+  std::uint16_t node = 0;       ///< blamed member (0 = undetermined)
+  int round = -1;
+  std::string root_cause;       ///< one-line verdict
+  std::vector<CauseStep> chain; ///< root first, outcome last
+  double blame_from_ns = 0.0;   ///< blame span on the merged timeline
+  double blame_to_ns = 0.0;
+};
+
+struct PostmortemReport {
+  std::vector<Outcome> outcomes;
+  /// True when any round failed the kappa gate (the gating verdict).
+  bool kappa_gate_failed = false;
+};
+
+PostmortemReport analyze_timeline(const FlightLog& log,
+                                  const GroupTimeline& timeline,
+                                  const PostmortemOptions& options = {});
+
+}  // namespace choir::obs

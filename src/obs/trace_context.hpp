@@ -1,0 +1,80 @@
+// Causal trace context for the control plane (docs/POSTMORTEM.md).
+//
+// Every control-channel operation — group prepare, synchronized start,
+// resync, record fencing, beacons, and each redundant retry — carries a
+// 64-bit trace context: a 32-bit trace id naming the causal episode
+// (the record phase, or one replay round) and a 32-bit span id naming
+// the specific decision inside it. A member that executes a traced
+// command allocates a child span parented to the command's span and
+// folds its own context into subsequent beacons, so coordinator
+// decisions and member reactions link into one causal graph that the
+// timeline merger can stitch across nodes.
+//
+// On the wire the context rides the control frame's payload: control
+// datagrams are 64 bytes with a fully occupied 16-byte trailer, and the
+// simulator stands in for elided payload bytes with the frame's 64-bit
+// payload token — exactly the room a real implementation would use.
+// Legacy encoders leave the token zero, which decodes as "untraced";
+// nothing downstream distinguishes a pre-tracing frame from a traced
+// one except the context itself.
+//
+// Span ids are allocated without coordination: the high 12 bits carry
+// the allocating node, the low 20 bits a per-node sequence, so merged
+// rings never collide and allocation stays a pure function of the
+// node's own event order (bit-reproducible like everything else).
+#pragma once
+
+#include <cstdint>
+
+namespace choir::obs {
+
+struct TraceContext {
+  std::uint32_t trace = 0;  ///< causal episode id; 0 = untraced
+  std::uint32_t span = 0;   ///< decision id inside the episode
+};
+
+/// Trace id of the record phase (round trace ids start above it).
+inline constexpr std::uint32_t kRecordTraceId = 1;
+
+/// Trace id of replay round `round` (>= 0).
+constexpr std::uint32_t round_trace_id(int round) {
+  return round >= 0 ? static_cast<std::uint32_t>(round) + 2 : 0;
+}
+
+/// Inverse of round_trace_id: -1 for the record phase / untraced ids.
+constexpr int round_of_trace(std::uint32_t trace) {
+  return trace >= 2 ? static_cast<int>(trace - 2) : -1;
+}
+
+constexpr std::uint64_t pack_trace(TraceContext ctx) {
+  return (static_cast<std::uint64_t>(ctx.trace) << 32) | ctx.span;
+}
+
+constexpr TraceContext unpack_trace(std::uint64_t word) {
+  return TraceContext{static_cast<std::uint32_t>(word >> 32),
+                      static_cast<std::uint32_t>(word & 0xffffffffULL)};
+}
+
+/// Coordination-free span ids: node[31:20] | sequence[19:0].
+class SpanAllocator {
+ public:
+  explicit SpanAllocator(std::uint16_t node = 0) : node_(node) {}
+
+  void set_node(std::uint16_t node) { node_ = node; }
+
+  std::uint32_t next() {
+    next_ = (next_ + 1) & 0xfffff;
+    return (static_cast<std::uint32_t>(node_ & 0xfff) << 20) | next_;
+  }
+
+ private:
+  std::uint16_t node_ = 0;
+  std::uint32_t next_ = 0;
+};
+
+/// Node that allocated a span id (the high 12 bits).
+constexpr std::uint16_t span_node(std::uint32_t span) {
+  return static_cast<std::uint16_t>(span >> 20);
+}
+
+}  // namespace choir::obs

@@ -39,6 +39,11 @@ MacAddress mac_for_node(std::uint16_t node);
 /// Build 10.0.x.y style addresses from a node index.
 std::uint32_t ip_for_node(std::uint16_t node);
 
+/// Inverse of ip_for_node: the node index sits in the low two octets.
+constexpr std::uint16_t node_for_ip(std::uint32_t ip) {
+  return static_cast<std::uint16_t>(ip & 0xffff);
+}
+
 /// Write an Ethernet+IPv4+UDP header stack into `frame.header` and set
 /// header_len. `frame.wire_len` must already hold the full frame size;
 /// the IPv4/UDP length fields are derived from it.

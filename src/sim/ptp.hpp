@@ -57,7 +57,8 @@ class PtpService {
 
   /// Apply one synchronization round to every slave right now.
   void sync_all() {
-    for (Slave& slave : slaves_) {
+    for (std::size_t i = 0; i < slaves_.size(); ++i) {
+      Slave& slave = slaves_[i];
       double sigma = slave.residual_sigma_ns >= 0.0
                          ? slave.residual_sigma_ns
                          : config_.residual_sigma_ns;
@@ -71,6 +72,10 @@ class PtpService {
       slave.worst_abs_offset_ns =
           std::max(slave.worst_abs_offset_ns, std::fabs(offset));
       ++slave.syncs;
+      // Observer hook (flight recorder / clock-history capture): pure
+      // observation after the correction is applied — draws no RNG,
+      // schedules nothing, zero-perturbation like the telemetry hooks.
+      if (sync_observer_) sync_observer_(i, queue_.now(), offset);
     }
     ++rounds_;
   }
@@ -93,6 +98,14 @@ class PtpService {
   /// `scale(now)` on every sync. Pass nullptr to clear.
   void set_sigma_scale(std::size_t i, std::function<double(Ns)> scale) {
     at(i).sigma_scale = std::move(scale);
+  }
+
+  /// Observation hook called after every per-slave correction with
+  /// (slave index, true time, applied offset ns). Pass nullptr to
+  /// clear. Must not draw RNG or schedule events.
+  void set_sync_observer(
+      std::function<void(std::size_t, Ns, double)> observer) {
+    sync_observer_ = std::move(observer);
   }
 
   const PtpConfig& config() const { return config_; }
@@ -128,6 +141,7 @@ class PtpService {
   Rng rng_;
   std::vector<Slave> slaves_;
   std::uint64_t rounds_ = 0;
+  std::function<void(std::size_t, Ns, double)> sync_observer_;
 };
 
 }  // namespace choir::sim

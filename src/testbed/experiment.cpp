@@ -18,6 +18,7 @@
 #include "net/nic.hpp"
 #include "net/noise.hpp"
 #include "net/switch.hpp"
+#include "obs/group_trace.hpp"
 #include "replay/baselines.hpp"
 #include "replay/gapfill.hpp"
 #include "sim/clock.hpp"
@@ -116,6 +117,25 @@ core::Trial rebased_trial(const trace::Capture& capture) {
   return trial;
 }
 
+ReplaySchedule replay_schedule(const ExperimentConfig& config) {
+  const EnvironmentPreset& env = config.env;
+  ReplaySchedule s;
+  s.gen_start = milliseconds(10);
+  const double total_gap_ns = mean_iat_ns(env.frame_bytes, env.rate);
+  s.trial_duration =
+      static_cast<Ns>(total_gap_ns * static_cast<double>(config.packets));
+  s.sync_sigma_ns = env.replayer_sync_fraction_of_run > 0.0
+                        ? env.replayer_sync_fraction_of_run *
+                              static_cast<double>(s.trial_duration)
+                        : env.replayer_sync_sigma_ns;
+  s.record_end = s.gen_start + s.trial_duration + milliseconds(5);
+  s.arm_margin = std::max<Ns>(milliseconds(5),
+                              static_cast<Ns>(6.0 * s.sync_sigma_ns));
+  s.run_spacing = s.trial_duration + 2 * s.arm_margin + milliseconds(40);
+  s.replay_base = s.record_end + milliseconds(30) + s.arm_margin;
+  return s;
+}
+
 core::ConsistencyMetrics mean_metrics(
     const std::vector<core::ComparisonResult>& comparisons) {
   core::ConsistencyMetrics m;
@@ -190,6 +210,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     monitor_session.emplace(stream_monitor.get());
   }
 
+  // ---- Flight recording ------------------------------------------------
+  // One ring per participating node plus the merger's side tables.
+  // Attached below through null-check hooks only; with obs disabled
+  // every hook pointer stays null and the run is bit-identical.
+  std::shared_ptr<obs::FlightLog> flight_log;
+  if (config.obs.enabled) {
+    flight_log = std::make_shared<obs::FlightLog>(config.obs.ring_events,
+                                                  config.obs.sample_every);
+  }
+
   // Experiment phase spans (no-ops unless a profiler is installed).
   std::optional<telemetry::ProfileSpan> phase_prof;
   phase_prof.emplace("experiment.build");
@@ -210,15 +240,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                            sim::SystemClock(0, root.uniform(-0.5, 0.5))};
 
   const std::uint64_t total_packets = config.packets;
-  const double total_gap_ns = mean_iat_ns(env.frame_bytes, env.rate);
-  const Ns trial_duration =
-      static_cast<Ns>(total_gap_ns * static_cast<double>(total_packets));
-
-  const double sync_sigma =
-      env.replayer_sync_fraction_of_run > 0.0
-          ? env.replayer_sync_fraction_of_run *
-                static_cast<double>(trial_duration)
-          : env.replayer_sync_sigma_ns;
+  // Every schedule instant comes from the shared timetable so offline
+  // tools (choirctl postmortem) see the exact same rounds.
+  const ReplaySchedule sched = replay_schedule(config);
+  const Ns trial_duration = sched.trial_duration;
+  const double sync_sigma = sched.sync_sigma_ns;
 
   sim::PtpService ptp(queue, env.ptp, root.split(0x505450));
   ptp.add_slave(&gen_clock.system);
@@ -261,11 +287,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<pktio::Mempool> group_ctl_pool;
   std::unique_ptr<app::GroupCoordinator> group;
   std::size_t ctl_port_out = 0;
+  std::size_t ctl_ptp_slave = SIZE_MAX;
   if (group_on) {
     ctl_clock = std::make_unique<sim::NodeClock>(
         sim::NodeClock{sim::TscClock(2.5, root.uniform(-5, 5)),
                        sim::SystemClock(0, root.uniform(-0.5, 0.5))});
-    ptp.add_slave(&ctl_clock->system);
+    ctl_ptp_slave = ptp.add_slave(&ctl_clock->system);
     ctl_link = std::make_unique<net::Link>(queue);
     net::NicConfig ctl_nic = env.generator_nic;
     ctl_nic.name = "ctl";
@@ -287,6 +314,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         queue, *ctl_clock, *group_ctl_vf, *group_ctl_pool,
         config.group.config, root.split(0x4752), &ptp);
     group->controller().set_retry(env.control_retry);
+    if (flight_log != nullptr) {
+      group->set_flight_recorder(
+          &flight_log->add_node(kController, "coordinator"));
+    }
   }
 
   // ---- Replay paths ----------------------------------------------------
@@ -356,6 +387,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         prng.split(4));
     p.middlebox->start();
     p.ctl_flow = flow_between(kController, repl_id);
+    if (flight_log != nullptr) {
+      p.middlebox->set_flight_recorder(
+          &flight_log->add_node(repl_id, "repl" + std::to_string(i)));
+    }
 
     if (group_on) {
       // Group member: beacons to the coordinator from a dedicated pool;
@@ -373,6 +408,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       p.controller = std::make_unique<app::Controller>(
           queue, gen_clock, *p.ctl_vf, *p.ctl_pool);
       p.controller->set_retry(env.control_retry);
+      if (flight_log != nullptr) {
+        // Legacy per-path controllers all act for the controller node;
+        // they share its ring (add_node is idempotent).
+        p.controller->set_flight_recorder(
+            &flight_log->add_node(kController, "controller"));
+      }
     }
 
     const std::uint64_t per_stream =
@@ -493,15 +534,77 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  // ---- Observability wiring --------------------------------------------
+  // PTP correction history: each servo sync lands in the owning node's
+  // clock table (and ring) stamped with that node's believed wall time —
+  // the evidence the timeline merger rebases by. The gen/recorder clocks
+  // carry no ring, so their slave slots stay unmapped.
+  struct SlaveRef {
+    std::uint16_t node = 0;
+    const sim::NodeClock* clock = nullptr;
+  };
+  std::vector<SlaveRef> slave_nodes;
+  if (flight_log != nullptr) {
+    slave_nodes.resize(ptp.slave_count());
+    if (ctl_ptp_slave != SIZE_MAX) {
+      slave_nodes[ctl_ptp_slave] = SlaveRef{kController, ctl_clock.get()};
+    }
+    for (int i = 0; i < env.replayers; ++i) {
+      const ReplayPath& p = paths[static_cast<std::size_t>(i)];
+      slave_nodes[p.ptp_slave] = SlaveRef{repl_node_id(i), p.clock.get()};
+    }
+    ptp.set_sync_observer([log = flight_log.get(), &slave_nodes](
+                              std::size_t slave, Ns now, double offset) {
+      if (slave >= slave_nodes.size()) return;
+      const SlaveRef& ref = slave_nodes[slave];
+      if (ref.node == 0) return;
+      log->note_sync(ref.node, ref.clock->system.read(now), offset);
+    });
+  }
+
+  // Fault attach points are interned up front with the node each one
+  // damages, so an activation routes into the owning node's ring and
+  // the postmortem can blame the right member.
+  if (flight_log != nullptr && injector != nullptr) {
+    for (int i = 0; i < env.replayers; ++i) {
+      const std::string idx = std::to_string(i);
+      const std::uint16_t repl = repl_node_id(i);
+      flight_log->intern_point("link.gen" + idx, repl);
+      flight_log->intern_point("link.repl" + idx + "-out", repl);
+      flight_log->intern_point("nic.repl" + idx + "-in", repl);
+      flight_log->intern_point("nic.repl" + idx + "-out", repl);
+      flight_log->intern_point("pool.gen" + idx, repl);
+      flight_log->intern_point("pool.ctl" + idx, kController);
+      flight_log->intern_point("link.to-repl" + idx, repl);
+      flight_log->intern_point("clock.repl" + idx, repl);
+    }
+    flight_log->intern_point("link.to-recorder", kController);
+    flight_log->intern_point("link.ctl", kController);
+    flight_log->intern_point("link.to-ctl", kController);
+    flight_log->intern_point("pool.ctl", kController);
+    injector->set_observer([log = flight_log.get()](const std::string& point,
+                                                    fault::FaultKind kind,
+                                                    Ns now) {
+      const int pid = log->find_point(point);
+      if (pid < 0) return;
+      obs::FlightRecorder* ring =
+          log->node(log->point_node(static_cast<std::uint16_t>(pid)));
+      if (ring == nullptr) return;
+      obs::FlightEvent e;
+      e.kind = obs::EventKind::kFaultActive;
+      e.t_wall = now;  // true time: the injector holds no node clock
+      e.code = static_cast<std::uint16_t>(kind);
+      e.b = static_cast<std::uint64_t>(pid);
+      ring->record(e);
+    });
+  }
+
   // ---- Timeline --------------------------------------------------------
   ptp.start();
 
-  const Ns record_margin = milliseconds(5);
-  const Ns gen_start = milliseconds(10);
-  const Ns record_end = gen_start + trial_duration + record_margin;
-  const Ns arm_margin =
-      std::max<Ns>(milliseconds(5), static_cast<Ns>(6.0 * sync_sigma));
-  const Ns run_spacing = trial_duration + 2 * arm_margin + milliseconds(40);
+  const Ns record_end = sched.record_end;
+  const Ns arm_margin = sched.arm_margin;
+  const Ns run_spacing = sched.run_spacing;
 
   if (group_on) {
     group->start();
@@ -555,7 +658,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   std::vector<trace::Capture> captures(static_cast<std::size_t>(config.runs));
-  const Ns replay_base = record_end + milliseconds(30) + arm_margin;
+  const Ns replay_base = sched.replay_base;
   for (int r = 0; r < config.runs; ++r) {
     const Ns wall_start = replay_base + r * run_spacing;
     captures[static_cast<std::size_t>(r)].set_name(
@@ -642,6 +745,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.control_retries += group->controller().retries();
     result.control_send_failures += group->controller().send_failures();
     result.control_timeouts += group->controller().timeouts();
+    // Per-member control accounting: retries and timeouts attributed to
+    // the destination each command targeted (choirctl prints these).
+    for (auto& m : result.group_members) {
+      if (const app::ControlDestStats* d = group->controller().dest(m.id)) {
+        m.ctl_sent = d->sent;
+        m.ctl_retries = d->retries;
+        m.ctl_send_failures = d->send_failures;
+        m.ctl_timeouts = d->timeouts;
+      }
+    }
   }
   if (injector != nullptr) {
     result.fault_stats = injector->stats();
@@ -680,6 +793,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   });
   for (const auto& ep : eval_profiles) profiler->merge_from(ep);
   result.mean = mean_metrics(result.comparisons);
+
+  if (flight_log != nullptr) {
+    // Per-round kappa lands in the controller ring after evaluation,
+    // stamped at the round's scheduled end: the postmortem kappa-gate
+    // pass reads these. Recorded unsampled — a few events per run, and
+    // gating them away would blind the analyzer.
+    if (obs::FlightRecorder* ring = flight_log->node(kController)) {
+      for (std::size_t i = 0; i < result.comparisons.size(); ++i) {
+        const int run = static_cast<int>(i) + 1;
+        obs::FlightEvent e;
+        e.kind = obs::EventKind::kKappaRound;
+        e.t_wall = sched.round_end(run);
+        e.round = run;
+        e.f = result.comparisons[i].metrics.kappa;
+        e.trace = obs::round_trace_id(run);
+        ring->record(e);
+      }
+    }
+  }
 
   if (flows_on) {
     telemetry::ProfileSpan prof_flows("experiment.flow_eval");
@@ -742,6 +874,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       analysis::write_histogram_summaries_csv(*registry,
                                               dir + "histograms.csv");
       analysis::write_chrome_trace(*tracer, dir + "trace.json");
+    }
+  }
+
+  if (flight_log != nullptr) {
+    result.flight_log = flight_log;
+    if (!config.obs.dir.empty()) {
+      std::filesystem::create_directories(config.obs.dir);
+      const obs::GroupTimeline timeline = obs::merge_timeline(*flight_log);
+      obs::write_group_trace(*flight_log, timeline,
+                             config.obs.dir + "/group_trace.json");
+      obs::write_events_jsonl(*flight_log, timeline,
+                              config.obs.dir + "/events.jsonl");
     }
   }
   return result;

@@ -15,6 +15,7 @@
 #include "fault/injector.hpp"
 #include "flow/flow_kappa.hpp"
 #include "monitor/monitor.hpp"
+#include "obs/flight_log.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span_profiler.hpp"
 #include "telemetry/tracer.hpp"
@@ -85,6 +86,28 @@ struct FlowOptions {
   int shards = 8;
 };
 
+/// Group-wide flight recording (docs/POSTMORTEM.md). When enabled, the
+/// coordinator and every replayer node get a fixed-size, allocation-free
+/// event ring wired into the control channel, the group state machine,
+/// the PTP servo, and the fault layer; after the run the rings merge
+/// into one causally ordered group timeline. Strictly an observer: a
+/// seeded run's metrics and captures are bit-identical with recording
+/// on or off (enforced by the obs determinism test).
+struct ObsOptions {
+  bool enabled = false;
+  /// When non-empty, run_experiment writes `group_trace.json` (Chrome
+  /// trace with causal flow arrows) and `events.jsonl` (the merged
+  /// timeline, one JSON object per event) into this directory.
+  std::string dir;
+  /// Events each node's ring holds; older events are overwritten, like
+  /// an aircraft flight recorder.
+  std::size_t ring_events = 4096;
+  /// Record round-affine events only every Nth replay round (<= 1:
+  /// every round). Round-less events (fault activations, PTP syncs,
+  /// record-phase commands) always record.
+  int sample_every = 1;
+};
+
 /// N-node replay group mode (docs/DISTRIBUTED.md). When enabled, the
 /// hardwired per-path controllers are replaced by one GroupCoordinator
 /// on a dedicated controller node: record and replay are commanded over
@@ -131,7 +154,30 @@ struct ExperimentConfig {
   MonitorOptions monitor;
   FlowOptions flow;
   GroupOptions group;
+  ObsOptions obs;
 };
+
+/// The experiment's replay timetable — a pure function of the config,
+/// exposed so offline tools (`choirctl postmortem` aiming chaos windows
+/// at a specific round, the obs tests asserting round boundaries) can
+/// reproduce the exact instants run_experiment uses without duplicating
+/// its constants.
+struct ReplaySchedule {
+  Ns gen_start = 0;          ///< first generated packet
+  Ns trial_duration = 0;     ///< nominal stream duration
+  double sync_sigma_ns = 0;  ///< effective replayer PTP residual sigma
+  Ns arm_margin = 0;         ///< capture arm margin around each replay
+  Ns record_end = 0;         ///< stop-record instant
+  Ns replay_base = 0;        ///< run 0's replay wall-clock start
+  Ns run_spacing = 0;        ///< wall-clock gap between run starts
+
+  Ns wall_start(int run) const { return replay_base + run * run_spacing; }
+  Ns round_end(int run) const {
+    return wall_start(run) + trial_duration + arm_margin;
+  }
+};
+
+ReplaySchedule replay_schedule(const ExperimentConfig& config);
 
 struct ExperimentResult {
   /// Comparison of run 1+i against run 0; runs-1 entries.
@@ -176,6 +222,9 @@ struct ExperimentResult {
   /// Streaming monitor (windows, running estimates, divergence records,
   /// per-stream exact finales); populated iff config.monitor.enabled.
   std::shared_ptr<monitor::StreamMonitor> monitor;
+  /// Per-node flight rings + clock histories; populated iff
+  /// config.obs.enabled. Merge with obs::merge_timeline for analysis.
+  std::shared_ptr<obs::FlightLog> flight_log;
   /// Host-time span profile; populated iff config.telemetry.profile.
   std::shared_ptr<telemetry::SpanProfiler> profile;
 };

@@ -10,6 +10,10 @@
 //   monitor <env> [opts]      run with the streaming monitor, print windows
 //   flows <env> [opts]        run a many-flow experiment, print per-flow
 //                             kappa aggregates and the worst flows
+//   postmortem <env> [opts]   group run with flight recording; merge the
+//                             per-node rings into a causal timeline and
+//                             print a root-cause report for every bad
+//                             outcome (eviction, resync, kappa gate)
 //   compare <a.trc> <b.trc>   compute the Section 3 metrics offline
 //   partition <trace> <n> <dir>  split a trace into n per-node sub-traces
 //                             (flow-sharded, timelines rebased to 0)
@@ -39,6 +43,16 @@
 //   --flows N      synthetic flow count for the many-flow workload
 //   --flow-shards N  classifier shards / flow.<shard>.* namespaces
 //   --flow ID      (stats) show one flow; exits 1 when ID is absent
+//   --obs D        record per-node flight rings and write
+//                  group_trace.json + events.jsonl into directory D
+//                  (postmortem also writes postmortem.json there)
+//   --trace-sample N  ring-log round-affine events only every Nth round
+//                  (keeps flight recording cheap at bench scale)
+//   --chaos P      (postmortem) inject a group failure preset aimed at
+//                  run 1's replay: stall | ctl-loss | clock
+//   --chaos-node I (postmortem) replayer index the preset targets (def 1)
+//   --kappa-gate X (postmortem) flag rounds with kappa below X; exits 1
+//                  when any round fails the gate
 //   --profile      host-time span profiling (profile.csv, trace track)
 //   --jobs N       worker threads (0 = auto: CHOIR_JOBS, else hardware
 //                  concurrency; 1 = sequential). Results are
@@ -58,8 +72,11 @@
 
 #include "analysis/export.hpp"
 #include "analysis/histogram.hpp"
+#include "analysis/postmortem.hpp"
 #include "analysis/report.hpp"
 #include "core/weighted_kappa.hpp"
+#include "fault/chaos.hpp"
+#include "obs/postmortem.hpp"
 #include "testbed/bench_suite.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scale.hpp"
@@ -83,6 +100,9 @@ int usage() {
       "  stats <dir>                   summarize saved telemetry artifacts\n"
       "  monitor <env> [opts]          run with the streaming monitor\n"
       "  flows <env> [opts]            many-flow run, per-flow kappa\n"
+      "  postmortem <env> [opts]       group run + flight recording +\n"
+      "                                root-cause report (see --chaos,\n"
+      "                                --kappa-gate, --obs)\n"
       "  compare <a> <b>               offline metrics between traces\n"
       "                                (.trc native or .pcap files)\n"
       "  partition <trace> <n> <dir>   flow-shard a trace into n rebased\n"
@@ -100,7 +120,9 @@ int usage() {
       "         --monitor DIR  --window-packets N  --top-k N  --windows  "
       "--profile  --jobs N\n"
       "         --per-flow  --flows N  --flow-shards N  --flow ID\n"
-      "         --group  --nodes N\n");
+      "         --group  --nodes N  --obs DIR  --trace-sample N\n"
+      "         --chaos stall|ctl-loss|clock  --chaos-node I  "
+      "--kappa-gate X\n");
   return 2;
 }
 
@@ -145,6 +167,12 @@ struct Options {
   long long flow_id = -1;     ///< stats: show one flow (exit 1 if absent)
   bool group = false;         ///< replay-group protocol (coordinator node)
   int nodes = 0;              ///< replay-node count (0 = preset default)
+  bool obs = false;           ///< per-node flight recording on
+  std::string obs_dir;        ///< when set, write obs artifacts there
+  int trace_sample = 1;       ///< round sampling for the flight rings
+  std::string chaos;          ///< postmortem: failure preset name
+  int chaos_node = 1;         ///< postmortem: targeted replayer index
+  double kappa_gate = -1.0;   ///< postmortem: per-round kappa gate
   bool ok = true;
 };
 
@@ -210,6 +238,18 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (key == "--flow") {
       opt.per_flow = true;
       opt.flow_id = std::atoll(value.c_str());
+    } else if (key == "--obs") {
+      opt.obs = true;
+      opt.obs_dir = value;
+    } else if (key == "--trace-sample") {
+      opt.obs = true;
+      opt.trace_sample = std::atoi(value.c_str());
+    } else if (key == "--chaos") {
+      opt.chaos = value;
+    } else if (key == "--chaos-node") {
+      opt.chaos_node = std::atoi(value.c_str());
+    } else if (key == "--kappa-gate") {
+      opt.kappa_gate = std::strtod(value.c_str(), nullptr);
     } else if (key == "--nodes") {
       opt.nodes = std::atoi(value.c_str());
       // The legacy hardwired path only knows 1..2 replayers; beyond that
@@ -258,6 +298,9 @@ testbed::ExperimentResult run_with(const testbed::EnvironmentPreset& env,
   cfg.flow.shards = opt.flow_shards;
   if (opt.nodes > 0) cfg.env.replayers = opt.nodes;
   cfg.group.enabled = opt.group;
+  cfg.obs.enabled = opt.obs;
+  cfg.obs.dir = opt.obs_dir;
+  cfg.obs.sample_every = opt.trace_sample;
   return run_experiment(cfg);
 }
 
@@ -321,14 +364,29 @@ void print_group(const testbed::ExperimentResult& result) {
       static_cast<unsigned long long>(g.rejoins),
       static_cast<unsigned long long>(g.evictions),
       static_cast<unsigned long long>(g.ready_timeouts));
+  std::uint64_t ctl_sent = 0, ctl_retries = 0, ctl_timeouts = 0;
   for (const auto& m : result.group_members) {
     std::printf(
         "  node %-3u %-10s beacons %-6llu straggles %-3llu resyncs %-3llu "
-        "barrier residual %.0f ns\n",
+        "ctl %llu/%llu/%llu sent/retry/timeout  barrier residual %.0f ns\n",
         m.id, app::member_state_name(m.state),
         static_cast<unsigned long long>(m.beacons),
         static_cast<unsigned long long>(m.straggles),
-        static_cast<unsigned long long>(m.resyncs), m.barrier_residual_ns);
+        static_cast<unsigned long long>(m.resyncs),
+        static_cast<unsigned long long>(m.ctl_sent),
+        static_cast<unsigned long long>(m.ctl_retries),
+        static_cast<unsigned long long>(m.ctl_timeouts),
+        m.barrier_residual_ns);
+    ctl_sent += m.ctl_sent;
+    ctl_retries += m.ctl_retries;
+    ctl_timeouts += m.ctl_timeouts;
+  }
+  if (ctl_sent > 0) {
+    std::printf("  control channel: %llu commands sent, %llu retries, "
+                "%llu timeouts\n",
+                static_cast<unsigned long long>(ctl_sent),
+                static_cast<unsigned long long>(ctl_retries),
+                static_cast<unsigned long long>(ctl_timeouts));
   }
 }
 
@@ -572,6 +630,97 @@ int cmd_flows(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `postmortem <env>`: run the replay-group protocol with per-node
+/// flight recording, merge the rings into one causal timeline, and walk
+/// every bad outcome (eviction, resync, kappa-gate failure, clock
+/// anomaly) back to its root cause. `--chaos` injects one of the group
+/// failure presets aimed at run 1's replay, so a known-bad run can be
+/// produced and diagnosed in one command. Exits 1 only when
+/// `--kappa-gate` is set and a round fails it.
+int cmd_postmortem(const std::vector<std::string>& args) {
+  testbed::EnvironmentPreset env;
+  if (args.size() < 3 || !find_preset(args[2], &env)) return usage();
+  Options opt = parse_options(args, 3);
+  if (!opt.ok) return usage();
+
+  testbed::ExperimentConfig cfg;
+  cfg.env = env;
+  cfg.env.replayers = opt.nodes > 0 ? opt.nodes : 3;
+  // Pin the replayer sync servo and the group health cadence the way
+  // the group chaos tests do: sub-millisecond beacons make straggler
+  // detection observable inside a short trial, and a fixed sigma keeps
+  // the arm margin at its 5 ms floor so the chaos windows land on the
+  // replay stretch they target at any packet count.
+  cfg.env.replayer_sync_fraction_of_run = 0.0;
+  cfg.env.replayer_sync_sigma_ns = 25.0;
+  cfg.packets = opt.packets;
+  cfg.runs = opt.runs;
+  cfg.seed = opt.seed;
+  cfg.collect_series = false;
+  cfg.eval_jobs = opt.jobs;
+  cfg.group.enabled = true;
+  cfg.group.config.beacon_interval = microseconds(100);
+  cfg.group.config.check_interval = microseconds(250);
+  cfg.group.config.straggle_threshold = microseconds(400);
+  cfg.group.config.resync_slack = microseconds(50);
+  cfg.group.config.resync_retry = microseconds(500);
+  cfg.obs.enabled = true;
+  cfg.obs.dir = opt.obs_dir;
+  cfg.obs.sample_every = opt.trace_sample;
+
+  const testbed::ReplaySchedule sched = testbed::replay_schedule(cfg);
+  const int target = opt.chaos_node;
+  if (opt.chaos == "stall") {
+    // Mid-replay NIC stall over two thirds of run 1: long enough that
+    // the resync machinery (not the paced retry loop) must recover it.
+    cfg.env.faults = fault::group_node_stall_plan(
+        target, sched.wall_start(1) + sched.trial_duration / 4,
+        2 * sched.trial_duration / 3);
+  } else if (opt.chaos == "ctl-loss") {
+    // Lossy command path for the whole schedule; the sequenced channel
+    // needs its retry envelope widened to keep command semantics.
+    cfg.env.control_retry.max_attempts = 6;
+    cfg.env.control_retry.initial_backoff = microseconds(100);
+    cfg.env.control_retry.multiplier = 2.0;
+    cfg.env.control_retry.timeout = milliseconds(4);
+    cfg.env.faults = fault::group_control_loss_plan(
+        target, 0, sched.round_end(cfg.runs - 1) + milliseconds(10), 0.5);
+  } else if (opt.chaos == "clock") {
+    cfg.env.faults = fault::group_clock_degrade_plan(
+        target, 0, sched.round_end(cfg.runs - 1) + milliseconds(10), 1000.0);
+  } else if (!opt.chaos.empty()) {
+    std::fprintf(stderr,
+                 "choirctl: unknown chaos preset '%s' "
+                 "(expected stall, ctl-loss, or clock)\n",
+                 opt.chaos.c_str());
+    return 2;
+  }
+
+  const auto result = run_experiment(cfg);
+  std::printf("%s: %llu packets/trial, %d rounds, mean kappa %.4f\n",
+              env.name.c_str(),
+              static_cast<unsigned long long>(result.recorded_packets),
+              opt.runs, result.mean.kappa);
+  print_group(result);
+
+  const obs::GroupTimeline timeline = obs::merge_timeline(*result.flight_log);
+  obs::PostmortemOptions popt;
+  popt.kappa_gate = opt.kappa_gate;
+  const obs::PostmortemReport report =
+      obs::analyze_timeline(*result.flight_log, timeline, popt);
+  std::fputs(
+      analysis::render_postmortem(*result.flight_log, timeline, report)
+          .c_str(),
+      stdout);
+  if (!opt.obs_dir.empty()) {
+    analysis::write_postmortem_json(*result.flight_log, timeline, report,
+                                    opt.obs_dir + "/postmortem.json");
+    std::printf("wrote %s/{group_trace.json,events.jsonl,postmortem.json}\n",
+                opt.obs_dir.c_str());
+  }
+  return report.kappa_gate_failed ? 1 : 0;
+}
+
 int cmd_save(const std::vector<std::string>& args) {
   testbed::EnvironmentPreset env;
   if (args.size() < 4 || !find_preset(args[2], &env)) return usage();
@@ -739,6 +888,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "monitor") return cmd_monitor(args);
     if (command == "flows") return cmd_flows(args);
+    if (command == "postmortem") return cmd_postmortem(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "partition") return cmd_partition(args);
     if (command == "bench") return cmd_bench(args);
