@@ -1,0 +1,204 @@
+// bench_series_overhead — proves the series sampler does not perturb
+// the system under test.
+//
+// The series plane's contract (docs/SERIES.md) is the same as the
+// monitor's and the flight recorder's: a pure observer. A sampling tick
+// only reads the registry — it draws no randomness and mutates nothing
+// the simulation observes — so interleaving sampler events between the
+// real ones must not change what the testbed measures. The gate:
+//
+//   1. Simulated recorder throughput with the series sampler off vs on
+//      at a 1 ms cadence. Design target <2% perturbation; by
+//      construction the measured perturbation is exactly 0% and the
+//      results are bit-identical (also checked).
+//   2. Artifact determinism: series.jsonl and the Prometheus text
+//      rendered from two independent sampled runs — one evaluated
+//      sequentially, one with 4 workers — must be byte-identical
+//      (CI additionally cmp's the files `choirctl export` writes).
+//   3. Host-side cost, reported for transparency: wall clock of the
+//      sampled run plus a microbenchmark of the ring push path.
+//
+// Usage: bench_series_overhead [--check PCT] [--packets N] [--reps R]
+//   --check PCT  exit non-zero when simulated-throughput perturbation
+//                exceeds PCT percent, when results are not
+//                bit-identical, or when the series artifacts differ
+//                across job counts (CI gates on --check 2).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "bench_common.hpp"
+#include "telemetry/sampler.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/presets.hpp"
+#include "testbed/scale.hpp"
+
+namespace {
+
+using namespace choir;
+using Clock = std::chrono::steady_clock;
+
+double run_once_ms(const testbed::ExperimentConfig& config,
+                   testbed::ExperimentResult* out) {
+  const auto t0 = Clock::now();
+  *out = testbed::run_experiment(config);
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Recorder throughput on the simulated timeline: packets per simulated
+/// second across all captured runs.
+double sim_throughput_pps(const testbed::ExperimentResult& result,
+                          int runs) {
+  std::uint64_t captured = 0;
+  for (const std::size_t n : result.capture_sizes) captured += n;
+  const double seconds =
+      to_seconds(result.trial_duration) * static_cast<double>(runs);
+  return seconds > 0.0 ? static_cast<double>(captured) / seconds : 0.0;
+}
+
+double push_ns_per_point(std::size_t points) {
+  telemetry::MetricSeries series(4096);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < points; ++i) {
+    series.push(static_cast<Ns>(i), static_cast<double>(i));
+  }
+  const auto t1 = Clock::now();
+  // Keep the ring observable so the loop cannot be elided.
+  if (series.total() != points) std::abort();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(points);
+}
+
+std::string artifacts_of(const testbed::ExperimentResult& result) {
+  return analysis::render_series_jsonl(*result.telemetry_series) +
+         analysis::render_prometheus_text(*result.telemetry_series);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("series_overhead", &argc, argv);
+  const double check_pct = bench::double_from_args("--check", -1.0, &argc,
+                                                   argv);
+  const std::uint64_t packets = bench::u64_from_args(
+      "--packets", testbed::scale_from_env() / 4, &argc, argv);
+  const int reps = bench::int_from_args("--reps", 3, &argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "usage: bench_series_overhead [--check PCT] "
+                 "[--packets N] [--reps R]\n");
+    return 2;
+  }
+
+  // Both sides run a full telemetry session (registry + tracer live in
+  // either case); the measured delta is therefore the series sampler
+  // alone, not telemetry as a whole (bench_telemetry_overhead covers
+  // that baseline).
+  testbed::ExperimentConfig off;
+  off.env = testbed::local_single();
+  off.packets = packets;
+  off.runs = 3;
+  off.seed = 2025;
+  off.collect_series = false;
+  off.telemetry.enabled = true;
+  testbed::ExperimentConfig on = off;
+  on.telemetry.series_interval = milliseconds(1);
+
+  std::printf("series-overhead: %s, %llu packets/trial, %d runs, %d reps, "
+              "1 ms cadence\n",
+              off.env.name.c_str(),
+              static_cast<unsigned long long>(packets), off.runs, reps);
+
+  // Interleave off/on repetitions so slow-drift host noise (thermal,
+  // scheduler) hits both sides equally; keep the minimum of each.
+  double best_off = 1e300;
+  double best_on = 1e300;
+  testbed::ExperimentResult r_off, r_on;
+  for (int r = 0; r < reps; ++r) {
+    best_off = std::min(best_off, run_once_ms(off, &r_off));
+    best_on = std::min(best_on, run_once_ms(on, &r_on));
+  }
+
+  // The gated metric: throughput of the system under test.
+  const double pps_off = sim_throughput_pps(r_off, off.runs);
+  const double pps_on = sim_throughput_pps(r_on, on.runs);
+  const double perturbation_pct =
+      pps_off > 0.0 ? 100.0 * std::abs(pps_on - pps_off) / pps_off : 0.0;
+  const bool identical =
+      std::memcmp(&r_off.mean, &r_on.mean, sizeof(r_off.mean)) == 0 &&
+      r_off.recorded_packets == r_on.recorded_packets &&
+      r_off.capture_sizes == r_on.capture_sizes;
+
+  // Series-artifact determinism across evaluation job counts.
+  testbed::ExperimentConfig par = on;
+  par.eval_jobs = 4;
+  on.eval_jobs = 1;
+  testbed::ExperimentResult r_seq, r_par;
+  run_once_ms(on, &r_seq);
+  run_once_ms(par, &r_par);
+  const bool artifacts_identical =
+      artifacts_of(r_seq) == artifacts_of(r_par);
+
+  const telemetry::SeriesSampler& series = *r_on.telemetry_series;
+  std::printf("  recorder throughput (simulated): off %.0f pps, on %.0f pps\n",
+              pps_off, pps_on);
+  std::printf("  throughput perturbation: %.4f%%\n", perturbation_pct);
+  std::printf("  results bit-identical: %s (mean kappa %.17g)\n",
+              identical ? "yes" : "NO", r_off.mean.kappa);
+  std::printf("  series artifacts byte-identical across jobs 1/4: %s\n",
+              artifacts_identical ? "yes" : "NO");
+  std::printf(
+      "  host wall time: off min %.2f ms, on min %.2f ms (%+.2f%%, "
+      "%u cores)\n",
+      best_off, best_on, 100.0 * (best_on - best_off) / best_off,
+      std::thread::hardware_concurrency());
+  std::printf("  series: %zu metrics, %llu samples\n",
+              series.entries().size(),
+              static_cast<unsigned long long>(series.samples_taken()));
+  const double push_ns = push_ns_per_point(1u << 22);
+  std::printf("  ring push path: %.1f ns/point\n", push_ns);
+
+  // Simulated quantities are deterministic; host wall times go behind
+  // the CHOIR_BENCH_HOST_TIME gate.
+  reporter.add_metric("sim_pps_off", pps_off);
+  reporter.add_metric("sim_pps_on", pps_on);
+  reporter.add_metric("perturbation_pct", perturbation_pct);
+  reporter.add_metric("bit_identical", identical ? 1.0 : 0.0);
+  reporter.add_metric("artifacts_identical", artifacts_identical ? 1.0 : 0.0);
+  reporter.add_metric("mean_kappa", r_off.mean.kappa);
+  reporter.add_metric("series_count",
+                      static_cast<double>(series.entries().size()));
+  reporter.add_metric("samples_taken",
+                      static_cast<double>(series.samples_taken()));
+  reporter.add_host_metric("wall_ms_off", best_off);
+  reporter.add_host_metric("wall_ms_on", best_on);
+  reporter.add_host_metric("push_ns_per_point", push_ns);
+  reporter.finish();
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: series sampler perturbed the simulation "
+                 "(results differ with sampling on)\n");
+    return 1;
+  }
+  if (!artifacts_identical) {
+    std::fprintf(stderr,
+                 "FAIL: series artifacts differ across --jobs values\n");
+    return 1;
+  }
+  if (check_pct >= 0.0 && perturbation_pct > check_pct) {
+    std::fprintf(stderr,
+                 "FAIL: throughput perturbation %.4f%% exceeds %.2f%% "
+                 "threshold\n",
+                 perturbation_pct, check_pct);
+    return 1;
+  }
+  return 0;
+}

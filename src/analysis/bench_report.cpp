@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/expect.hpp"
+#include "common/stats.hpp"
 
 namespace choir::analysis {
 
@@ -348,6 +349,146 @@ std::string render_compare(const CompareResult& result) {
                 "new\n",
                 ok_count, result.regressions, result.added);
   out += line;
+  return out;
+}
+
+// --- Statistical (multi-repetition) verdicts ----------------------------
+
+const char* to_string(StatStatus status) {
+  switch (status) {
+    case StatStatus::kStable:
+      return "stable";
+    case StatStatus::kUnstable:
+      return "UNSTABLE";
+    case StatStatus::kRegressed:
+      return "REGRESSED";
+    case StatStatus::kImproved:
+      return "improved";
+    case StatStatus::kNoBaseline:
+      return "no-baseline";
+  }
+  return "unknown";
+}
+
+StatResult statistical_verdicts(
+    const std::vector<StatSample>& samples,
+    const std::vector<std::pair<std::string, double>>& baseline,
+    const StatOptions& options) {
+  std::map<std::string, double> base;
+  for (const auto& [path, median] : baseline) base[path] = median;
+
+  StatResult result;
+  for (const StatSample& sample : samples) {
+    StatVerdict v;
+    v.path = sample.path;
+    v.reps = sample.values.size();
+    if (!sample.values.empty()) {
+      std::vector<double> sorted = sample.values;
+      std::sort(sorted.begin(), sorted.end());
+      v.p25 = stats::percentile_sorted(sorted, 25.0);
+      v.median = stats::percentile_sorted(sorted, 50.0);
+      v.p75 = stats::percentile_sorted(sorted, 75.0);
+      const double denom = std::max(std::abs(v.median), 1e-12);
+      v.spread_pct = 100.0 * (v.p75 - v.p25) / denom;
+    }
+    const auto it = base.find(sample.path);
+    v.has_baseline = it != base.end();
+    if (v.has_baseline) {
+      v.baseline_median = it->second;
+      const double denom = std::max(std::abs(v.baseline_median), 1e-12);
+      v.delta_pct = 100.0 * (v.median - v.baseline_median) / denom;
+    }
+
+    // Verdict ladder: too few reps or too much spread -> kUnstable
+    // (never gated — an untrustworthy number cannot prove a
+    // regression); then the median-vs-baseline band.
+    if (v.reps < options.min_reps || v.spread_pct > options.spread_gate_pct) {
+      v.status = StatStatus::kUnstable;
+      ++result.unstable;
+    } else if (!v.has_baseline) {
+      v.status = StatStatus::kNoBaseline;
+    } else {
+      const double worse =
+          options.higher_is_better ? -v.delta_pct : v.delta_pct;
+      if (worse > options.regress_pct) {
+        v.status = StatStatus::kRegressed;
+        ++result.regressions;
+      } else if (-worse > options.regress_pct) {
+        v.status = StatStatus::kImproved;
+      } else {
+        v.status = StatStatus::kStable;
+      }
+    }
+    result.verdicts.push_back(std::move(v));
+  }
+  return result;
+}
+
+std::string render_stat_verdicts(const StatResult& result) {
+  std::string out;
+  char line[320];
+  const auto emit = [&](const StatVerdict& v) {
+    if (v.has_baseline) {
+      std::snprintf(line, sizeof(line),
+                    "  %-11s %-44s %2zu reps  p25/p50/p75 %.4g/%.4g/%.4g  "
+                    "spread %5.1f%%  vs baseline %.4g (%+.1f%%)\n",
+                    to_string(v.status), v.path.c_str(), v.reps, v.p25,
+                    v.median, v.p75, v.spread_pct, v.baseline_median,
+                    v.delta_pct);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-11s %-44s %2zu reps  p25/p50/p75 %.4g/%.4g/%.4g  "
+                    "spread %5.1f%%\n",
+                    to_string(v.status), v.path.c_str(), v.reps, v.p25,
+                    v.median, v.p75, v.spread_pct);
+    }
+    out += line;
+  };
+  for (const StatVerdict& v : result.verdicts) {
+    if (v.status == StatStatus::kRegressed) emit(v);
+  }
+  for (const StatVerdict& v : result.verdicts) {
+    if (v.status != StatStatus::kRegressed) emit(v);
+  }
+  std::snprintf(line, sizeof(line),
+                "  statistical verdicts: %zu metric(s), %zu regressed, %zu "
+                "unstable\n",
+                result.verdicts.size(), result.regressions, result.unstable);
+  out += line;
+  return out;
+}
+
+std::string stat_baseline_to_json(const StatResult& result) {
+  // Medians only, sorted by path — the file a future run gates against.
+  std::map<std::string, double> medians;
+  for (const StatVerdict& v : result.verdicts) medians[v.path] = v.median;
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.number(1.0);
+  w.key("medians");
+  w.begin_object();
+  for (const auto& [path, median] : medians) {
+    w.key(path);
+    w.number(median);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::vector<std::pair<std::string, double>> parse_stat_baseline(
+    const std::string& text) {
+  const json::Value parsed = json::parse(text);
+  std::vector<std::pair<std::string, double>> out;
+  const json::Value* medians = parsed.find("medians");
+  CHOIR_EXPECT(medians != nullptr && medians->is_object(),
+               "stat baseline lacks a medians object");
+  for (const auto& [path, value] : medians->object) {
+    CHOIR_EXPECT(value.is_number(),
+                 "stat baseline median is not a number: " + path);
+    out.emplace_back(path, value.number_value);
+  }
   return out;
 }
 

@@ -164,4 +164,81 @@ CompareResult compare_reports(const json::Value& baseline,
 /// Render a human-readable diff table (regressions first).
 std::string render_compare(const CompareResult& result);
 
+// --- Statistical (multi-repetition) verdicts ----------------------------
+//
+// PASTRAMI-style treatment of host-time metrics (PAPERS.md): a single
+// host-time number from a software router is meaningless; only the
+// distribution over repetitions is. The statistical comparator
+// therefore takes N samples per metric, checks the p25/p75 spread
+// first (an unstable metric can never regress — it cannot be trusted
+// either way, and the verdict says so), and gates the *median* against
+// a baseline median with a percentile band. This is what promotes
+// selected `host.*` throughput metrics from report-only to gated.
+
+/// One metric's repetition samples.
+struct StatSample {
+  std::string path;
+  std::vector<double> values;  ///< one per repetition, collection order
+};
+
+enum class StatStatus {
+  kStable,        ///< spread inside the gate, median inside the band
+  kUnstable,      ///< spread too wide (or too few reps) — not gateable
+  kRegressed,     ///< stable and median outside the band, the bad way
+  kImproved,      ///< stable and median outside the band, the good way
+  kNoBaseline,    ///< stable, but nothing to gate against (report-only)
+};
+
+const char* to_string(StatStatus status);
+
+struct StatOptions {
+  std::size_t min_reps = 5;      ///< fewer samples -> kUnstable
+  /// Instability gate: 100 * (p75 - p25) / |median| above this is
+  /// kUnstable. PASTRAMI's observation is that run-to-run spread, not
+  /// the mean, is the first-class result; 20% is a loose default for
+  /// shared CI hosts.
+  double spread_gate_pct = 20.0;
+  /// Regression band around the baseline median (percent).
+  double regress_pct = 10.0;
+  /// Throughput semantics: a lower median regresses. Clear it for
+  /// latency-style metrics where higher is worse.
+  bool higher_is_better = true;
+};
+
+struct StatVerdict {
+  std::string path;
+  std::size_t reps = 0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double spread_pct = 0.0;      ///< 100 * (p75 - p25) / |median|
+  bool has_baseline = false;
+  double baseline_median = 0.0;
+  double delta_pct = 0.0;       ///< 100 * (median - baseline) / |baseline|
+  StatStatus status = StatStatus::kUnstable;
+};
+
+struct StatResult {
+  std::vector<StatVerdict> verdicts;  ///< sample order
+  std::size_t regressions = 0;        ///< kRegressed count
+  std::size_t unstable = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+/// Judge each sampled metric against `baseline` medians (path -> median;
+/// may be empty: every verdict is then kUnstable or kNoBaseline).
+StatResult statistical_verdicts(
+    const std::vector<StatSample>& samples,
+    const std::vector<std::pair<std::string, double>>& baseline,
+    const StatOptions& options = {});
+
+/// Render a fixed-width verdict table, regressions first.
+std::string render_stat_verdicts(const StatResult& result);
+
+/// Serialize medians as a baseline file (deterministic ordering), and
+/// parse one back. Schema: {"schema":1,"medians":{"path":value,...}}.
+std::string stat_baseline_to_json(const StatResult& result);
+std::vector<std::pair<std::string, double>> parse_stat_baseline(
+    const std::string& text);
+
 }  // namespace choir::analysis

@@ -10,6 +10,7 @@
 #include "analysis/histogram.hpp"
 #include "core/metrics.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace choir::analysis {
@@ -46,5 +47,31 @@ void write_histogram_summaries_csv(const telemetry::Registry& registry,
 /// Chrome-tracing / Perfetto-compatible JSON of the recorded trace.
 void write_chrome_trace(const telemetry::Tracer& tracer,
                         const std::string& path);
+
+// --- Metric series artifacts (docs/SERIES.md) ---------------------------
+
+/// Ring-buffer series as JSON Lines, one object per metric in sorted
+/// name order:
+/// {"name":"...","kind":"counter","interval_ns":N,"total":N,
+///  "points":[[t_ns,value],...]}
+/// Values print with %.17g; the output is byte-deterministic for a
+/// deterministic run at any `--jobs` value.
+std::string render_series_jsonl(const telemetry::SeriesSampler& sampler);
+void write_series_jsonl(const telemetry::SeriesSampler& sampler,
+                        const std::string& path);
+
+/// Prometheus text exposition of each series' latest point. Metric
+/// names are sanitized to [a-zA-Z0-9_:] and prefixed `choir_`;
+/// percentile series become gauges carrying a `quantile`-style suffix
+/// already baked into the name (`..._p99`).
+std::string render_prometheus_text(const telemetry::SeriesSampler& sampler);
+void write_prometheus_text(const telemetry::SeriesSampler& sampler,
+                           const std::string& path);
+
+/// Fixed-width terminal summary of every series: last/min/max plus an
+/// ASCII sparkline over the retained window (`choirctl top`'s final
+/// frame). `limit` caps the number of rows (0 = no cap).
+std::string render_series_top(const telemetry::SeriesSampler& sampler,
+                              std::size_t limit = 0);
 
 }  // namespace choir::analysis

@@ -57,7 +57,7 @@ std::string TextTable::str() const {
 std::string render_flow_aggregates(
     const std::vector<flow::FlowSetComparison>& comparisons) {
   TextTable table({"run", "flows", "matched", "missing", "extra", "worst",
-                   "p50", "p90", "p99", "weighted"});
+                   "p50", "p90", "p99", "p99.9", "weighted"});
   char label[2] = "B";
   for (const auto& fc : comparisons) {
     const flow::FlowAggregate& a = fc.aggregate;
@@ -65,7 +65,7 @@ std::string render_flow_aggregates(
                    std::to_string(a.only_a), std::to_string(a.only_b),
                    format_metric(a.worst), format_metric(a.p50),
                    format_metric(a.p90), format_metric(a.p99),
-                   format_metric(a.weighted_mean)});
+                   format_metric(a.p999), format_metric(a.weighted_mean)});
     ++label[0];
   }
   return table.str();

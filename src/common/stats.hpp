@@ -72,6 +72,23 @@ inline double percentile_sorted(std::span<const double> sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// The 99.9th percentile of an ascending-sorted sample — the high tail
+/// (latency-style distributions where large is bad). Same rank
+/// interpolation as percentile_sorted, so a sample smaller than 1000
+/// points interpolates toward the maximum and p99.9 of a single point
+/// is that point exactly.
+inline double p999_sorted(std::span<const double> sorted) {
+  return percentile_sorted(sorted, 99.9);
+}
+
+/// The mirrored 99.9th-percentile severity of an ascending-sorted
+/// sample whose *low* end is the tail (κ-style distributions where
+/// small is bad): the value only 0.1% of the sample sits below. Flow
+/// aggregates report this as kappa_p999 (docs/FLOWS.md).
+inline double p999_low_sorted(std::span<const double> sorted) {
+  return percentile_sorted(sorted, 0.1);
+}
+
 /// One-based rank of percentile `p` in a population of `count` samples:
 /// ceil(p/100 * count) clamped to [1, count]. NaN p counts as 0.
 inline std::uint64_t percentile_rank(double p, std::uint64_t count) {

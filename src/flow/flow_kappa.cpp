@@ -84,7 +84,7 @@ FlowAggregate aggregate_flows(std::span<const FlowComparison> flows) {
   if (kappas.empty()) {
     // No flows at all: vacuously consistent, matching κ of two empty
     // trials (compare_trials grades them U = 0, κ = 1).
-    agg.worst = agg.p50 = agg.p90 = agg.p99 = 1.0;
+    agg.worst = agg.p50 = agg.p90 = agg.p99 = agg.p999 = 1.0;
     agg.weighted_mean = agg.mean = 1.0;
     return agg;
   }
@@ -96,6 +96,7 @@ FlowAggregate aggregate_flows(std::span<const FlowComparison> flows) {
   // ascending sample (p99 likewise).
   agg.p90 = stats::percentile_sorted(kappas, 10.0);
   agg.p99 = stats::percentile_sorted(kappas, 1.0);
+  agg.p999 = stats::p999_low_sorted(kappas);
   agg.weighted_mean = weight_total > 0.0 ? weighted_sum / weight_total : 1.0;
   agg.mean = sum / static_cast<double>(kappas.size());
   return agg;

@@ -5,7 +5,8 @@
 // tail". compare_flows() demuxes two trials by flow, runs the exact
 // Eq. 5 comparison per matched flow on the flow's own timebase, and
 // summarizes the per-flow κ distribution as a FlowAggregate:
-// worst-case, p50/p90/p99 (stats::percentile_sorted conventions), a
+// worst-case, p50/p90/p99/p99.9 (stats::percentile_sorted
+// conventions; the κ tail is the distribution's low end), a
 // packet-weighted mean, and the plain mean.
 //
 // Grading convention for unmatched flows: a flow present in only one
@@ -51,6 +52,7 @@ struct FlowAggregate {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< stats::p999_low_sorted — the extreme κ tail
   double weighted_mean = 0.0;  ///< κ weighted by per-flow packet count
   double mean = 0.0;
 };

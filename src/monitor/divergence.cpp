@@ -50,18 +50,26 @@ void write_divergence_jsonl(const StreamMonitor& monitor,
 }
 
 void write_windows_csv(const StreamMonitor& monitor, std::ostream& out) {
+  // Flow columns are vacuous (0 flows, κ = 1) for windows whose feed
+  // carried no flow ids, keeping one fixed schema either way.
   out << "stream,window,b_begin,b_end,a_begin,a_end,common,moved,missing,"
-         "extra,lcs,U,O,L,I,kappa,kappa_running\n";
-  char buf[512];
+         "extra,lcs,U,O,L,I,kappa,kappa_running,"
+         "flows,flow_kappa_worst,flow_kappa_p50,flow_kappa_p999\n";
+  char buf[640];
   for (const WindowRecord& w : monitor.windows()) {
+    const std::size_t flows = w.has_flows ? w.flow_aggregate.flows : 0;
+    const double fworst = w.has_flows ? w.flow_aggregate.worst : 1.0;
+    const double fp50 = w.has_flows ? w.flow_aggregate.p50 : 1.0;
+    const double fp999 = w.has_flows ? w.flow_aggregate.p999 : 1.0;
     std::snprintf(buf, sizeof(buf),
                   "%s,%" PRIu64 ",%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,"
-                  "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                  "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                  "%zu,%.17g,%.17g,%.17g\n",
                   w.stream_name.c_str(), w.index, w.b_begin, w.b_end,
                   w.a_begin, w.a_end, w.common, w.moved, w.missing, w.extra,
                   w.lcs_length, w.metrics.uniqueness, w.metrics.ordering,
                   w.metrics.latency, w.metrics.iat, w.metrics.kappa,
-                  w.kappa_running);
+                  w.kappa_running, flows, fworst, fp50, fp999);
     out << buf;
   }
 }
@@ -138,10 +146,10 @@ std::string render_flow_summary(const StreamMonitor& monitor) {
     const flow::FlowAggregate& a = s.flow_aggregate;
     std::snprintf(line, sizeof(line),
                   "%-8s %zu flows (%zu matched, %zu missing, %zu extra): "
-                  "kappa worst=%.4f p50=%.4f p90=%.4f p99=%.4f "
+                  "kappa worst=%.4f p50=%.4f p90=%.4f p99=%.4f p99.9=%.4f "
                   "weighted=%.4f\n",
                   s.name.c_str(), a.flows, a.matched, a.only_a, a.only_b,
-                  a.worst, a.p50, a.p90, a.p99, a.weighted_mean);
+                  a.worst, a.p50, a.p90, a.p99, a.p999, a.weighted_mean);
     out += line;
     for (const flow::FlowComparison& fc : s.worst_flows) {
       std::snprintf(line, sizeof(line),

@@ -33,6 +33,8 @@ StreamMonitor::StreamMonitor(MonitorConfig config)
       tm_streams_(telemetry::counter("monitor.streams")),
       tm_window_kappa_ppm_(telemetry::gauge("monitor.window_kappa_ppm")),
       tm_running_kappa_ppm_(telemetry::gauge("monitor.running_kappa_ppm")),
+      tm_window_flow_kappa_ppm_(
+          telemetry::gauge("monitor.window_flow_kappa_ppm")),
       tm_track_(telemetry::track("monitor")) {
   CHOIR_EXPECT(config_.window_packets > 0, "window_packets must be > 0");
   if (config_.async) {
@@ -174,6 +176,12 @@ void StreamMonitor::flush_telemetry() {
         static_cast<std::int64_t>(windows_.back().metrics.kappa * 1e6));
     tm_running_kappa_ppm_.set(
         static_cast<std::int64_t>(windows_.back().kappa_running * 1e6));
+    for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+      if (!it->has_flows) continue;
+      tm_window_flow_kappa_ppm_.set(
+          static_cast<std::int64_t>(it->flow_aggregate.worst * 1e6));
+      break;
+    }
   }
   if (auto* tracer = telemetry::tracer()) {
     for (const WindowRecord& window : windows_) {
@@ -377,6 +385,28 @@ void StreamMonitor::close_window(bool) {
   update_running(window.last_time_ns);
   window.kappa_running = running_.kappa;
 
+  // Per-flow κ for this window: the same slice pair demuxed by flow id,
+  // so every window carries its own flow-κ distribution. Inline
+  // (jobs = 1) for the same reason as the stream finale below.
+  const bool window_has_flows =
+      !reference_flows_.empty() && b_end <= stream_flows_.size() &&
+      std::any_of(stream_flows_.begin() +
+                      static_cast<std::ptrdiff_t>(b_begin),
+                  stream_flows_.begin() + static_cast<std::ptrdiff_t>(b_end),
+                  [](flow::FlowId f) { return f != flow::kNoFlow; });
+  if (window_has_flows) {
+    const std::vector<flow::FlowId> fa(
+        reference_flows_.begin() + static_cast<std::ptrdiff_t>(a_begin),
+        reference_flows_.begin() + static_cast<std::ptrdiff_t>(a_end));
+    const std::vector<flow::FlowId> fb(
+        stream_flows_.begin() + static_cast<std::ptrdiff_t>(b_begin),
+        stream_flows_.begin() + static_cast<std::ptrdiff_t>(b_end));
+    const flow::FlowSetComparison flows = flow::compare_flows_by_id(
+        wa, fa, wb, fb, flow_ids_high_, /*jobs=*/1);
+    window.has_flows = true;
+    window.flow_aggregate = flows.aggregate;
+  }
+
   if (config_.top_k > 0) attribute_window(cmp, window);
 
   if (!config_.async) {
@@ -385,6 +415,10 @@ void StreamMonitor::close_window(bool) {
         static_cast<std::int64_t>(window.metrics.kappa * 1e6));
     tm_running_kappa_ppm_.set(
         static_cast<std::int64_t>(running_.kappa * 1e6));
+    if (window.has_flows) {
+      tm_window_flow_kappa_ppm_.set(static_cast<std::int64_t>(
+          window.flow_aggregate.worst * 1e6));
+    }
     if (auto* tracer = telemetry::tracer()) {
       char args[160];
       std::snprintf(args, sizeof(args),

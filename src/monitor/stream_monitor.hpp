@@ -97,6 +97,13 @@ struct WindowRecord {
   /// Stream-cumulative κ estimate at window close (running U/L/I exact,
   /// O estimated from insertion ranks — see RunningEstimate).
   double kappa_running = 1.0;
+
+  /// Per-flow κ over this window's slice pair, populated iff the feed
+  /// carries flow ids: the windowed view of the per-flow finale, so the
+  /// flow-κ distribution becomes a sim-time series (one FlowAggregate
+  /// per window) instead of one end-of-stream scalar set.
+  bool has_flows = false;
+  flow::FlowAggregate flow_aggregate;
 };
 
 /// Stream-cumulative estimate, updated per packet in O(log n).
@@ -277,6 +284,7 @@ class StreamMonitor {
   telemetry::CounterHandle tm_streams_;
   telemetry::GaugeHandle tm_window_kappa_ppm_;
   telemetry::GaugeHandle tm_running_kappa_ppm_;
+  telemetry::GaugeHandle tm_window_flow_kappa_ppm_;  ///< worst flow κ
   std::uint32_t tm_track_ = 0;
 
   // Async worker state. The feeding thread touches only the ring, the

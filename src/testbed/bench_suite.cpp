@@ -173,6 +173,7 @@ analysis::BenchCase make_bench_case(const ExperimentConfig& config,
       c.counters.emplace_back(prefix + ".kappa_p50", agg.p50);
       c.counters.emplace_back(prefix + ".kappa_p90", agg.p90);
       c.counters.emplace_back(prefix + ".kappa_p99", agg.p99);
+      c.counters.emplace_back(prefix + ".kappa_p999", agg.p999);
       c.counters.emplace_back(prefix + ".kappa_weighted", agg.weighted_mean);
     }
   }
@@ -250,6 +251,10 @@ std::vector<std::string> run_bench_suite(const std::string& suite,
     timing->wall_ms = ms_since(suite_start);
     timing->tasks_ms = 0.0;
     for (const double ms : task_ms) timing->tasks_ms += ms;
+    timing->recorded_packets = 0;
+    for (const analysis::BenchCase& c : report.cases) {
+      timing->recorded_packets += c.recorded_packets;
+    }
   }
 
   fs::create_directories(out_dir);

@@ -44,9 +44,21 @@ struct SuiteTiming {
   int jobs = 1;           ///< resolved worker count the suite ran at
   double wall_ms = 0.0;   ///< wall clock across the whole suite
   double tasks_ms = 0.0;  ///< sum of per-experiment wall times
+  /// Packets recorded across every case — the numerator of the
+  /// packets/sec-per-core throughput `choirctl bench --reps` samples.
+  std::uint64_t recorded_packets = 0;
   /// Effective parallel speedup: total work over wall clock (~1.0 when
   /// sequential, approaching `jobs` with perfect scaling).
   double speedup() const { return wall_ms > 0.0 ? tasks_ms / wall_ms : 0.0; }
+  /// Host throughput normalized by effective core time: recorded
+  /// packets over the summed per-experiment wall times. Independent of
+  /// the fan-out (tasks_ms already charges every core its own clock),
+  /// so it is the suite metric comparable across `--jobs` values.
+  double packets_per_sec_per_core() const {
+    return tasks_ms > 0.0
+               ? static_cast<double>(recorded_packets) / (tasks_ms / 1e3)
+               : 0.0;
+  }
 };
 
 /// Run a named suite and write its BENCH_<name>.json files into

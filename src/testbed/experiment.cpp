@@ -228,9 +228,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Rng root(config.seed * 0x9e3779b97f4a7c15ULL + 0x43484f4952ULL);
 
   std::optional<telemetry::Sampler> sampler;
+  std::shared_ptr<telemetry::SeriesSampler> series;
   if (config.telemetry.enabled) {
     sampler.emplace(queue, *registry, config.telemetry.sample_period);
     sampler->start();
+    if (config.telemetry.series_interval > 0) {
+      telemetry::SeriesConfig series_cfg;
+      series_cfg.interval = config.telemetry.series_interval;
+      series_cfg.capacity = config.telemetry.series_capacity;
+      series = std::make_shared<telemetry::SeriesSampler>(queue, *registry,
+                                                          series_cfg);
+      if (config.telemetry.series_observer) {
+        series->set_sink([observer = config.telemetry.series_observer,
+                          s = series.get()](Ns t) { observer(t, *s); });
+      }
+      series->start();
+    }
   }
 
   // ---- Clocks & PTP --------------------------------------------------
@@ -863,6 +876,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   if (config.telemetry.enabled) {
     sampler->sample_now();  // final snapshot at end_of_world
+    if (series != nullptr) {
+      series->sample_now();  // close every series at end_of_world
+      result.telemetry_series = series;
+    }
     result.telemetry_samples = sampler->samples();
     result.telemetry_registry = registry;
     result.telemetry_trace = tracer;
@@ -874,6 +891,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       analysis::write_histogram_summaries_csv(*registry,
                                               dir + "histograms.csv");
       analysis::write_chrome_trace(*tracer, dir + "trace.json");
+      if (series != nullptr) {
+        // Series artifacts: pure functions of the simulated timeline, so
+        // byte-identical at any --jobs (the CI cmp gate relies on this).
+        analysis::write_series_jsonl(*series, dir + "series.jsonl");
+        analysis::write_prometheus_text(*series, dir + "metrics.prom");
+      }
     }
   }
 

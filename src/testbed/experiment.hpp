@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "monitor/monitor.hpp"
 #include "obs/flight_log.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/span_profiler.hpp"
 #include "telemetry/tracer.hpp"
 #include "testbed/presets.hpp"
@@ -44,6 +46,19 @@ struct TelemetryOptions {
   std::string dir;
   /// Registry sampling period on the simulated timeline.
   Ns sample_period = milliseconds(5);
+  /// Per-metric ring-buffer series sampling (docs/SERIES.md): every
+  /// counter, gauge, and histogram-percentile set sampled into a
+  /// fixed-capacity ring on this sim-time cadence. 0 disables the
+  /// series sampler; when a dir is given, enables `series.jsonl` and
+  /// `metrics.prom` artifacts (byte-identical at any --jobs).
+  Ns series_interval = 0;
+  /// Ring capacity per metric series.
+  std::size_t series_capacity = 4096;
+  /// Host-side observer invoked after every completed series sample —
+  /// what `choirctl top` renders live frames from. Pure consumer: it
+  /// runs outside the simulation state, so installing one cannot change
+  /// a seeded run.
+  std::function<void(Ns, const telemetry::SeriesSampler&)> series_observer;
   /// Trace-event memory bound; past it, events count as dropped.
   std::size_t max_trace_events = telemetry::Tracer::kDefaultMaxEvents;
   /// Host-time span profiling of the hot paths (record drain, replay
@@ -212,6 +227,9 @@ struct ExperimentResult {
   std::shared_ptr<telemetry::Registry> telemetry_registry;
   std::shared_ptr<telemetry::Tracer> telemetry_trace;
   std::vector<telemetry::Snapshot> telemetry_samples;
+  /// Per-metric ring-buffer series; populated iff
+  /// config.telemetry.series_interval > 0 (docs/SERIES.md).
+  std::shared_ptr<telemetry::SeriesSampler> telemetry_series;
 
   // Per-flow evaluation; populated iff config.flow.enabled. One entry
   // per comparison (run 1+i vs run 0), keys matched by 5-tuple+stream.

@@ -323,4 +323,121 @@ TEST(BenchSuite, UnknownSuiteThrows) {
   EXPECT_THROW(testbed::run_bench_suite("nope", "/tmp"), Error);
 }
 
+// ---- Statistical (PASTRAMI-style) verdicts -----------------------------
+
+analysis::StatSample host_sample(std::vector<double> values) {
+  analysis::StatSample s;
+  s.path = "host.quick.pps_per_core";
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(StatVerdicts, StableInsideTheBand) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 102, 98, 101, 99})},
+      {{"host.quick.pps_per_core", 100.0}});
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  const analysis::StatVerdict& v = result.verdicts[0];
+  EXPECT_EQ(v.status, analysis::StatStatus::kStable);
+  EXPECT_EQ(v.reps, 5u);
+  EXPECT_DOUBLE_EQ(v.median, 100.0);
+  EXPECT_TRUE(v.has_baseline);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(StatVerdicts, PerturbedBaselineTripsTheGate) {
+  // The samples say ~100; a baseline claiming 200 means the current
+  // build lost half its throughput — the gate must fire.
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 102, 98, 101, 99})},
+      {{"host.quick.pps_per_core", 200.0}});
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kRegressed);
+  EXPECT_LT(result.verdicts[0].delta_pct, -10.0);
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(StatVerdicts, HigherMedianImprovesForThroughput) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({200, 202, 198, 201, 199})},
+      {{"host.quick.pps_per_core", 100.0}});
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kImproved);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(StatVerdicts, LowerIsWorseFlipsWithHigherIsBetterCleared) {
+  analysis::StatOptions options;
+  options.higher_is_better = false;  // latency-style metric
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({200, 202, 198, 201, 199})},
+      {{"host.quick.pps_per_core", 100.0}}, options);
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kRegressed);
+}
+
+TEST(StatVerdicts, WideSpreadIsUnstableNeverRegressed) {
+  // p25/p75 spread far past the gate: PASTRAMI's point is that this
+  // sample set cannot support any verdict — even against a baseline it
+  // would "regress" against.
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({50, 150, 60, 140, 100})},
+      {{"host.quick.pps_per_core", 200.0}});
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kUnstable);
+  EXPECT_GT(result.verdicts[0].spread_pct, 20.0);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.unstable, 1u);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(StatVerdicts, TooFewRepsIsUnstable) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 101})}, {{"host.quick.pps_per_core", 100.0}});
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kUnstable);
+}
+
+TEST(StatVerdicts, NoBaselineIsReportOnly) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 102, 98, 101, 99})}, {});
+  EXPECT_EQ(result.verdicts[0].status, analysis::StatStatus::kNoBaseline);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(StatVerdicts, BaselineJsonRoundTrips) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 102, 98, 101, 99})}, {});
+  const std::string json = analysis::stat_baseline_to_json(result);
+  const auto parsed = analysis::parse_stat_baseline(json);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].first, "host.quick.pps_per_core");
+  EXPECT_DOUBLE_EQ(parsed[0].second, 100.0);
+  // Byte determinism: serializing twice gives identical text.
+  EXPECT_EQ(json, analysis::stat_baseline_to_json(result));
+}
+
+TEST(StatVerdicts, RenderListsRegressionsFirst) {
+  const auto result = analysis::statistical_verdicts(
+      {host_sample({100, 102, 98, 101, 99}),
+       {"host.quick.other", {100, 102, 98, 101, 99}}},
+      {{"host.quick.other", 100.0},
+       {"host.quick.pps_per_core", 200.0}});
+  const std::string text = analysis::render_stat_verdicts(result);
+  const auto regressed = text.find("pps_per_core");
+  const auto stable = text.find("host.quick.other");
+  ASSERT_NE(regressed, std::string::npos);
+  ASSERT_NE(stable, std::string::npos);
+  EXPECT_LT(regressed, stable);
+  EXPECT_NE(text.find("1 regressed"), std::string::npos);
+}
+
+TEST(BenchSuite, TimingCarriesRecordedPackets) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("choir_suite_t_" + std::to_string(::getpid()));
+  testbed::SuiteTiming timing;
+  testbed::run_bench_suite("quick", dir.string(), 1, &timing);
+  EXPECT_GT(timing.recorded_packets, 0u);
+  EXPECT_GT(timing.packets_per_sec_per_core(), 0.0);
+  fs::remove_all(dir);
+}
+
 }  // namespace

@@ -93,8 +93,11 @@ TEST(FlowKappa, AggregatePercentilesReadTheLowTail) {
   EXPECT_DOUBLE_EQ(agg.p50, stats::percentile_sorted(kappas, 50.0));
   EXPECT_DOUBLE_EQ(agg.p90, stats::percentile_sorted(kappas, 10.0));
   EXPECT_DOUBLE_EQ(agg.p99, stats::percentile_sorted(kappas, 1.0));
+  EXPECT_DOUBLE_EQ(agg.p999, stats::p999_low_sorted(kappas));
   EXPECT_LT(agg.p99, agg.p90);  // tail ordering: p99 is the worse value
   EXPECT_LT(agg.p90, agg.p50);
+  EXPECT_LE(agg.p999, agg.p99);  // the extreme tail is at least as bad
+  EXPECT_LE(agg.worst, agg.p999);
   EXPECT_DOUBLE_EQ(agg.mean, 0.505);
   EXPECT_DOUBLE_EQ(agg.weighted_mean, 0.505);  // uniform weights
 }
@@ -116,6 +119,7 @@ TEST(FlowKappa, RetiredIdsAreSkippedAndEmptySetIsVacuouslyConsistent) {
   EXPECT_EQ(agg.flows, 0u);
   EXPECT_EQ(agg.worst, 1.0);
   EXPECT_EQ(agg.p99, 1.0);
+  EXPECT_EQ(agg.p999, 1.0);
   EXPECT_EQ(agg.weighted_mean, 1.0);
 }
 

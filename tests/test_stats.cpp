@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/expect.hpp"
+#include "common/stats.hpp"
 
 namespace choir::analysis {
 namespace {
@@ -61,6 +62,24 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
   EXPECT_DOUBLE_EQ(percentile(v, 25), 10.0);
   EXPECT_DOUBLE_EQ(percentile(v, 12.5), 5.0);
+}
+
+TEST(Stats, P999Exactness) {
+  // 1001 evenly spaced points 0..1000: the (n-1) rank grid puts p99.9
+  // at rank 0.999 * 1000 = 999 -> value 999, and the mirrored low-tail
+  // helper at rank 1 -> value 1. The tolerance absorbs only the
+  // representation error of 99.9/100 (~1e-13 in the rank).
+  std::vector<double> v(1001);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  EXPECT_NEAR(stats::p999_sorted(v), 999.0, 1e-9);
+  EXPECT_NEAR(stats::p999_low_sorted(v), 1.0, 1e-9);
+  // Degenerate sizes collapse to the envelope, never out of range.
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(stats::p999_sorted(one), 7.0);
+  EXPECT_DOUBLE_EQ(stats::p999_low_sorted(one), 7.0);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::p999_sorted(two), 1.0 + 2.0 * 0.999);
+  EXPECT_DOUBLE_EQ(stats::p999_low_sorted(two), 1.0 + 2.0 * 0.001);
 }
 
 TEST(Stats, PercentileUnsortedInput) {
