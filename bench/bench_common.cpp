@@ -166,6 +166,23 @@ double double_from_args(const char* flag, double fallback, int* argc,
   return value != nullptr ? std::strtod(value, nullptr) : fallback;
 }
 
+std::string str_from_args(const char* flag, const std::string& fallback,
+                          int* argc, char** argv) {
+  const char* value = take_flag_value(flag, argc, argv);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+bool flag_from_args(const char* flag, int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<testbed::ExperimentResult> run_configs(
     const std::vector<testbed::ExperimentConfig>& configs, int jobs) {
   // Each config is an independent seeded simulation; the suite-level

@@ -68,6 +68,11 @@ std::uint64_t u64_from_args(const char* flag, std::uint64_t fallback,
 int int_from_args(const char* flag, int fallback, int* argc, char** argv);
 double double_from_args(const char* flag, double fallback, int* argc,
                         char** argv);
+std::string str_from_args(const char* flag, const std::string& fallback,
+                          int* argc, char** argv);
+
+/// Bare `<flag>` presence test (no value); strips the flag when found.
+bool flag_from_args(const char* flag, int* argc, char** argv);
 
 /// Run several independent experiment configurations, fanned across a
 /// task pool (`jobs` as in choirctl: 0 = auto, 1 = sequential). Results

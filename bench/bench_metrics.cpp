@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "core/compare_scratch.hpp"
 #include "core/lis.hpp"
 #include "core/metrics.hpp"
 
@@ -89,6 +90,28 @@ void BM_CompareTrialsReordered(benchmark::State& state) {
                           static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CompareTrialsReordered)->Range(1 << 12, 1 << 18);
+
+void BM_AlignFlat(benchmark::State& state) {
+  // The arena alignment kernel in isolation: flat open-addressing id
+  // table (shared, prebuilt reference index), epoch-stamped claim array,
+  // reused LIS workspace — zero allocations per iteration once warm.
+  // Contrast with BM_CompareTrialsReordered, which goes through the
+  // allocating wrapper.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const core::Trial a = random_trial(rng, n, 0.0, 0);
+  const core::Trial b = random_trial(rng, n, 15.0, n / 2);
+  const core::ReferenceIndex ref(a);
+  core::CompareScratch scratch;
+  scratch.shared_ref = &ref;
+  for (auto _ : state) {
+    core::align_trials(a, b, scratch, &scratch.alignment);
+    benchmark::DoNotOptimize(scratch.alignment.matches.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AlignFlat)->Range(1 << 12, 1 << 18);
 
 void BM_RebaseTrial(benchmark::State& state) {
   // Time normalization runs once per capture ahead of every comparison.

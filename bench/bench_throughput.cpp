@@ -5,12 +5,16 @@
 // bound the forwarding loop's per-packet cost on the host.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "choir/middlebox.hpp"
 #include "gen/generator.hpp"
 #include "net/poll_loop.hpp"
 #include "pktio/ring.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/presets.hpp"
+#include "trace/trace_file.hpp"
 
 namespace {
 
@@ -56,6 +60,63 @@ void BM_RingBurst(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * burst);
 }
 BENCHMARK(BM_RingBurst)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+// --- trace loading ------------------------------------------------------
+
+// A synthetic on-disk trace shared by the loader micros (written once,
+// lazily, into the system temp dir).
+const std::string& loader_trace_path(std::size_t packets) {
+  static std::string path;
+  static std::size_t written = 0;
+  if (written != packets) {
+    path = (std::filesystem::temp_directory_path() /
+            ("choir_bench_load_" + std::to_string(packets) + ".trc"))
+               .string();
+    trace::Capture cap("bench");
+    cap.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+      trace::CaptureRecord r;
+      r.timestamp = static_cast<Ns>(i) * 280;
+      r.wire_len = 1400;
+      r.header_len = 48;
+      r.payload_token = i * 0x9e3779b97f4a7c15ULL + 1;
+      cap.append(r);
+    }
+    trace::write_trace(cap, path);
+    written = packets;
+  }
+  return path;
+}
+
+// Copying loader: read_trace streams every 87-byte record into a
+// Capture, then to_trial materializes ids and timestamps from it.
+void BM_ParseLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string& path = loader_trace_path(n);
+  for (auto _ : state) {
+    const core::Trial t = trace::read_trace(path).to_trial();
+    benchmark::DoNotOptimize(t.packets().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseLoad)->Range(1 << 12, 1 << 16);
+
+// Zero-copy loader: MappedCapture serves ids and timestamps straight
+// from the page cache; the 48-byte headers the trial never looks at are
+// never copied. Same validation, same trial bytes.
+void BM_MappedLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string& path = loader_trace_path(n);
+  for (auto _ : state) {
+    const trace::MappedCapture mapped(path);
+    const core::Trial t = mapped.to_trial();
+    benchmark::DoNotOptimize(t.packets().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MappedLoad)->Range(1 << 12, 1 << 16);
 
 // --- datapath -----------------------------------------------------------
 

@@ -1,150 +1,202 @@
 #include "core/edit_script.hpp"
 
-#include <algorithm>
-#include <numeric>
-#include <unordered_map>
+#include <span>
 
 #include "common/expect.hpp"
+#include "core/compare_scratch.hpp"
 #include "core/lis.hpp"
 #include "telemetry/span_profiler.hpp"
 
 namespace choir::core {
 
-double Alignment::total_abs_displacement() const {
-  double sum = 0.0;
-  for (const Move& m : moves) {
-    sum += static_cast<double>(m.displacement < 0 ? -m.displacement
-                                                  : m.displacement);
-  }
-  return sum;
-}
-
 namespace {
 
-/// Sum of |rank_a - rank_b| over matches off one maximal LCS, where the
-/// LCS is found as the LIS of `sequence`. Marks the chosen LCS members in
-/// `on_lcs` when `record` is set.
-double off_lcs_displacement(const std::vector<std::uint32_t>& sequence,
-                            const std::vector<std::uint32_t>& other_rank,
-                            std::vector<char>* on_lcs) {
-  const std::vector<std::uint32_t> lcs =
-      longest_increasing_subsequence(sequence);
-  std::vector<char> member(sequence.size(), 0);
-  for (const std::uint32_t pos : lcs) member[pos] = 1;
+template <typename Vec>
+void reserve_tracked(Vec& v, std::size_t n, std::uint64_t* grows) {
+  if (v.capacity() < n) {
+    ++*grows;
+    v.reserve(n);
+  }
+}
+
+/// Sum of |rank - position| over entries off one maximal LCS of
+/// `sequence`, where the other-direction rank of the entry at position
+/// pos is pos itself (both rank sequences align_trials feeds here are
+/// permutations read against the identity). Membership flags for the
+/// chosen LCS land in `member` (sized/cleared here, buffers reused).
+double off_lcs_displacement(std::span<const std::uint32_t> sequence,
+                            CompareScratch& scratch,
+                            std::vector<char>* member) {
+  longest_increasing_subsequence(sequence, scratch.lis, &scratch.lis_out);
+  reserve_tracked(*member, sequence.size(), &scratch.grows);
+  member->assign(sequence.size(), 0);
+  for (const std::uint32_t pos : scratch.lis_out) (*member)[pos] = 1;
   double sum = 0.0;
   for (std::uint32_t pos = 0; pos < sequence.size(); ++pos) {
-    if (member[pos]) continue;
+    if ((*member)[pos]) continue;
     const double d = static_cast<double>(sequence[pos]) -
-                     static_cast<double>(other_rank[pos]);
+                     static_cast<double>(pos);
     sum += d < 0 ? -d : d;
   }
-  if (on_lcs != nullptr) *on_lcs = std::move(member);
   return sum;
 }
 
 }  // namespace
 
 Alignment align_trials(const Trial& a, const Trial& b) {
-  telemetry::ProfileSpan prof("kappa.align");
+  CompareScratch scratch;
   Alignment out;
-  out.size_a = a.size();
-  out.size_b = b.size();
+  align_trials(a, b, scratch, &out);
+  return out;
+}
 
-  std::unordered_map<PacketId, std::uint32_t, PacketIdHash> index_in_a;
-  index_in_a.reserve(a.size());
-  for (std::uint32_t j = 0; j < a.size(); ++j) {
-    const bool inserted = index_in_a.emplace(a[j].id, j).second;
-    CHOIR_EXPECT(inserted, "trial A contains duplicate packet ids");
+void align_trials(const Trial& a, const Trial& b, CompareScratch& scratch,
+                  Alignment* out) {
+  telemetry::ProfileSpan prof("kappa.align");
+  out->matches.clear();
+  out->moves.clear();
+  out->size_a = a.size();
+  out->size_b = b.size();
+  out->lcs_length = 0;
+  out->sum_abs_displacement = 0.0;
+
+  const ReferenceIndex* index = scratch.shared_ref;
+  if (index != nullptr) {
+    CHOIR_EXPECT(index->size() == a.size(),
+                 "shared reference index does not match trial A");
+  } else {
+    if (scratch.own_ref.rebuild(a)) ++scratch.grows;
+    index = &scratch.own_ref;
   }
 
-  out.matches.reserve(b.size());
+  // Epoch bump makes every claim/B-only stamp from earlier comparisons
+  // stale in O(1); on the (rare) u32 wrap the stamps are cleared for
+  // real so old epochs can never read as current.
+  if (++scratch.epoch == 0) {
+    for (auto& c : scratch.claimed) c.epoch = 0;
+    for (auto& s : scratch.b_only) s.epoch = 0;
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+  if (scratch.claimed.size() < a.size()) {
+    ++scratch.grows;
+    scratch.claimed.resize(a.size());
+  }
   {
-    std::unordered_map<PacketId, bool, PacketIdHash> seen_b;
-    seen_b.reserve(b.size());
-    for (std::uint32_t k = 0; k < b.size(); ++k) {
-      CHOIR_EXPECT(seen_b.emplace(b[k].id, true).second,
-                   "trial B contains duplicate packet ids");
-      const auto it = index_in_a.find(b[k].id);
-      if (it == index_in_a.end()) continue;
-      MatchedPacket m;
-      m.index_a = it->second;
-      m.index_b = k;
-      out.matches.push_back(m);
+    // The B-only set is sized for the worst case (every B packet absent
+    // from A) up front, so the scan below never rehashes mid-pass.
+    std::size_t capacity = 64;
+    while (capacity < 2 * (b.size() + 1)) capacity <<= 1;
+    if (scratch.b_only.size() < capacity) {
+      ++scratch.grows;
+      scratch.b_only.assign(capacity, CompareScratch::BOnlySlot{});
+      scratch.b_only_mask = capacity - 1;
     }
   }
-  const std::uint32_t m = static_cast<std::uint32_t>(out.matches.size());
-  if (m == 0) return out;
+
+  // --- Fused duplicate-check / match pass over B: one flat-table probe
+  // per packet, one claim write for the common (id present in A) case —
+  // where the map-based path paid two hash-map operations.
+  reserve_tracked(out->matches, b.size(), &scratch.grows);
+  for (std::uint32_t k = 0; k < b.size(); ++k) {
+    const PacketId id = b[k].id;
+    const std::uint32_t j = index->lookup(id);
+    if (j != ReferenceIndex::kNoIndex) {
+      CompareScratch::Claim& claim = scratch.claimed[j];
+      CHOIR_EXPECT(claim.epoch != epoch,
+                   "trial B contains duplicate packet ids");
+      claim.epoch = epoch;
+      claim.match = static_cast<std::uint32_t>(out->matches.size());
+      MatchedPacket m;
+      m.index_a = j;
+      m.index_b = k;
+      out->matches.push_back(m);
+    } else {
+      std::size_t i = PacketIdHash{}(id) & scratch.b_only_mask;
+      while (scratch.b_only[i].epoch == epoch) {
+        CHOIR_EXPECT(!(scratch.b_only[i].id == id),
+                     "trial B contains duplicate packet ids");
+        i = (i + 1) & scratch.b_only_mask;
+      }
+      scratch.b_only[i].id = id;
+      scratch.b_only[i].epoch = epoch;
+    }
+  }
+  const std::uint32_t m = static_cast<std::uint32_t>(out->matches.size());
+  ++scratch.comparisons;
+  if (m == 0) return;
 
   // Ranks within the common subsequence. rank_b is simply the match
   // position (matches are in B order); rank_a orders the same packets by
-  // their position in A. Displacements are measured in ranks, not raw
-  // trial indices: the minimum edit script moves packets within the
-  // common permutation (insertions of B-only packets are separate edits
-  // covered by U), and ranks give the proven maximum of Eq. 2 (a reversal,
-  // the Spearman-footrule worst case).
-  std::vector<std::uint32_t> order(m);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t x, std::uint32_t y) {
-              return out.matches[x].index_a < out.matches[y].index_a;
-            });
-  for (std::uint32_t rank = 0; rank < m; ++rank) {
-    out.matches[order[rank]].rank_a = rank;
+  // their position in A — recovered by one linear scan over the claim
+  // array instead of sorting the matches. Displacements are measured in
+  // ranks, not raw trial indices: the minimum edit script moves packets
+  // within the common permutation (insertions of B-only packets are
+  // separate edits covered by U), and ranks give the proven maximum of
+  // Eq. 2 (a reversal, the Spearman-footrule worst case).
+  reserve_tracked(scratch.order, m, &scratch.grows);
+  reserve_tracked(scratch.seq_forward, m, &scratch.grows);
+  reserve_tracked(scratch.seq_backward, m, &scratch.grows);
+  scratch.order.resize(m);
+  scratch.seq_forward.resize(m);
+  scratch.seq_backward.resize(m);
+  std::uint32_t rank = 0;
+  for (std::uint32_t j = 0; j < a.size(); ++j) {
+    const CompareScratch::Claim& claim = scratch.claimed[j];
+    if (claim.epoch != epoch) continue;
+    out->matches[claim.match].rank_a = rank;
+    scratch.order[rank] = claim.match;
+    // The match index is its own rank_b (matches are in B order).
+    scratch.seq_backward[rank] = claim.match;
+    ++rank;
   }
-  for (std::uint32_t k = 0; k < m; ++k) out.matches[k].rank_b = k;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    out->matches[k].rank_b = k;
+    scratch.seq_forward[k] = out->matches[k].rank_a;
+  }
 
   // The maximal LCS is not unique; which packets count as "moved" depends
   // on the one chosen. Evaluating the LIS from both directions and
   // keeping the cheaper partition makes the metric symmetric
   // (O_AB = O_BA, as Eq. 2 requires) and no larger than either greedy
-  // choice.
-  std::vector<std::uint32_t> rank_a_in_b_order(m);
-  std::vector<std::uint32_t> rank_b_in_b_order(m);
-  for (std::uint32_t k = 0; k < m; ++k) {
-    rank_a_in_b_order[k] = out.matches[k].rank_a;
-    rank_b_in_b_order[k] = out.matches[k].rank_b;
-  }
-  std::vector<std::uint32_t> rank_b_in_a_order(m);
-  std::vector<std::uint32_t> rank_a_in_a_order(m);
-  for (std::uint32_t rank = 0; rank < m; ++rank) {
-    rank_b_in_a_order[rank] = out.matches[order[rank]].rank_b;
-    rank_a_in_a_order[rank] = rank;
-  }
-
-  std::vector<char> forward_lcs;
+  // choice. Both rank sequences are permutations whose counterpart rank
+  // at position pos is pos, so the identity-rank footrule applies.
   const double forward =
-      off_lcs_displacement(rank_a_in_b_order, rank_b_in_b_order, &forward_lcs);
-  std::vector<char> backward_lcs_in_a;
-  const double backward = off_lcs_displacement(
-      rank_b_in_a_order, rank_a_in_a_order, &backward_lcs_in_a);
+      off_lcs_displacement(scratch.seq_forward, scratch, &scratch.member_fwd);
+  const double backward =
+      off_lcs_displacement(scratch.seq_backward, scratch, &scratch.member_bwd);
 
   // Adopt the cheaper partition's membership flags (translated to B
-  // order when the backward direction won).
-  std::vector<char> member(m, 0);
+  // order when the backward direction won). Each footrule term is an
+  // exact integer, so the chosen sum equals re-summing the moves bit
+  // for bit.
+  out->sum_abs_displacement = forward <= backward ? forward : backward;
   if (forward <= backward) {
-    member = std::move(forward_lcs);
+    for (std::uint32_t k = 0; k < m; ++k) {
+      out->matches[k].on_lcs = scratch.member_fwd[k] != 0;
+    }
   } else {
-    for (std::uint32_t rank = 0; rank < m; ++rank) {
-      if (backward_lcs_in_a[rank]) member[order[rank]] = 1;
+    for (std::uint32_t r = 0; r < m; ++r) {
+      if (scratch.member_bwd[r]) out->matches[scratch.order[r]].on_lcs = true;
     }
   }
-  out.lcs_length = 0;
   for (std::uint32_t k = 0; k < m; ++k) {
-    out.matches[k].on_lcs = member[k] != 0;
-    out.lcs_length += member[k] ? 1u : 0u;
+    out->lcs_length += out->matches[k].on_lcs ? 1u : 0u;
   }
 
-  out.moves.reserve(m - out.lcs_length);
-  for (const MatchedPacket& match : out.matches) {
+  // Reserve to m, not the move count: capacity then depends only on the
+  // comparison size, so equal-size comparisons never regrow the buffer
+  // just because one had more off-LCS packets than the last.
+  reserve_tracked(out->moves, m, &scratch.grows);
+  for (const MatchedPacket& match : out->matches) {
     if (match.on_lcs) continue;
     Move mv;
     mv.index_b = match.index_b;
     mv.index_a = match.index_a;
     mv.displacement = static_cast<std::int64_t>(match.rank_a) -
                       static_cast<std::int64_t>(match.rank_b);
-    out.moves.push_back(mv);
+    out->moves.push_back(mv);
   }
-  return out;
 }
 
 }  // namespace choir::core

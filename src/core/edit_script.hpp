@@ -42,17 +42,32 @@ struct Alignment {
   std::size_t size_b = 0;
   std::size_t lcs_length = 0;
 
+  /// Sum of |displacement| over all moves (the numerator of O, Eq. 2),
+  /// computed once during align_trials. Every term is an integer-valued
+  /// double and the sum stays far below 2^53, so the stored value is
+  /// bit-identical to re-summing the moves in any order.
+  double sum_abs_displacement = 0.0;
+
   std::size_t common() const { return matches.size(); }
   std::size_t missing_from_b() const { return size_a - common(); }
   std::size_t extra_in_b() const { return size_b - common(); }
 
   /// Sum of |displacement| over all moves — the numerator of O (Eq. 2).
-  double total_abs_displacement() const;
+  double total_abs_displacement() const { return sum_abs_displacement; }
 };
+
+struct CompareScratch;
 
 /// Align trial B against trial A. Packet ids must be unique within each
 /// trial (call Trial::make_occurrences_unique() first if needed); throws
 /// choir::Error otherwise.
 Alignment align_trials(const Trial& a, const Trial& b);
+
+/// Arena variant: flat-table id matching with every buffer (including
+/// *out's vectors, which are cleared but keep capacity) reused across
+/// calls. Identical output to the allocating overload; zero heap
+/// allocations once the scratch is warm.
+void align_trials(const Trial& a, const Trial& b, CompareScratch& scratch,
+                  Alignment* out);
 
 }  // namespace choir::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.hpp"
+#include "core/compare_scratch.hpp"
 #include "telemetry/span_profiler.hpp"
 
 namespace choir::core {
@@ -26,9 +27,17 @@ double ComparisonResult::fraction_iat_within(double threshold_ns) const {
 
 ComparisonResult compare_trials(const Trial& a, const Trial& b,
                                 const ComparisonOptions& options) {
+  CompareScratch scratch;
+  return compare_trials(a, b, options, scratch);
+}
+
+ComparisonResult compare_trials(const Trial& a, const Trial& b,
+                                const ComparisonOptions& options,
+                                CompareScratch& scratch) {
   telemetry::ProfileSpan prof("kappa.compare");
   ComparisonResult out;
-  Alignment alignment = align_trials(a, b);
+  Alignment& alignment = scratch.alignment;
+  align_trials(a, b, scratch, &alignment);
 
   out.size_a = alignment.size_a;
   out.size_b = alignment.size_b;
@@ -98,7 +107,9 @@ ComparisonResult compare_trials(const Trial& a, const Trial& b,
 
   out.metrics.kappa = kappa_of(out.metrics.uniqueness, out.metrics.ordering,
                                out.metrics.latency, out.metrics.iat);
-  if (options.collect_alignment) out.alignment = std::move(alignment);
+  // Copy, not move: the alignment's buffers stay in the scratch so the
+  // next comparison reuses them.
+  if (options.collect_alignment) out.alignment = alignment;
   return out;
 }
 

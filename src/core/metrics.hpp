@@ -71,6 +71,16 @@ struct ComparisonResult {
 ComparisonResult compare_trials(const Trial& a, const Trial& b,
                                 const ComparisonOptions& options = {});
 
+/// Arena variant for steady-state comparison loops (bench suites,
+/// per-flow demux, monitor windows): alignment and rank buffers live in
+/// `scratch` and are reused across calls, so a warm scratch performs
+/// zero heap allocations on the metrics-only path (collect_series /
+/// collect_alignment copy into the result and still allocate there).
+/// Bit-identical to the allocating overload.
+ComparisonResult compare_trials(const Trial& a, const Trial& b,
+                                const ComparisonOptions& options,
+                                CompareScratch& scratch);
+
 /// κ from precomputed components (Eq. 5).
 double kappa_of(double u, double o, double l, double i);
 

@@ -5,6 +5,7 @@
 #include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "common/task_pool.hpp"
+#include "core/compare_scratch.hpp"
 #include "flow/flow_demux.hpp"
 
 namespace choir::flow {
@@ -30,6 +31,10 @@ void compare_into(const core::Trial& a, std::span<const FlowId> ids_a,
   const std::size_t chunks =
       (flow_count + kFlowsPerTask - 1) / kFlowsPerTask;
   parallel_for_indexed(jobs, chunks, [&](std::size_t c) {
+    // One comparison arena per chunk: buffers amortize across the up to
+    // kFlowsPerTask flows a task compares (results are scratch-invariant,
+    // so sharding stays byte-deterministic at any job count).
+    core::CompareScratch scratch;
     const std::size_t lo = c * kFlowsPerTask;
     const std::size_t hi = std::min(flow_count, lo + kFlowsPerTask);
     for (std::size_t f = lo; f < hi; ++f) {
@@ -42,7 +47,7 @@ void compare_into(const core::Trial& a, std::span<const FlowId> ids_a,
       fc.in_a = !ta.empty();
       fc.in_b = !tb.empty();
       if (fc.matched()) {
-        fc.metrics = core::compare_trials(ta, tb, options).metrics;
+        fc.metrics = core::compare_trials(ta, tb, options, scratch).metrics;
       } else if (fc.in_a || fc.in_b) {
         // One-sided flow: Eq. 5 against an empty trial (see header).
         fc.metrics.uniqueness = 1.0;

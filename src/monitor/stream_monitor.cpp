@@ -246,14 +246,15 @@ void StreamMonitor::do_begin_stream(const std::string& name) {
 }
 
 void StreamMonitor::fenwick_add(std::size_t index_a) {
-  for (std::size_t i = index_a + 1; i < fenwick_.size(); i += i & (~i + 1)) {
-    ++fenwick_[i];
-  }
+  const std::size_t size = fenwick_.size();
+  std::uint32_t* tree = fenwick_.data();
+  for (std::size_t i = index_a + 1; i < size; i += i & (~i + 1)) ++tree[i];
 }
 
 std::uint64_t StreamMonitor::fenwick_prefix(std::size_t index_a) const {
+  const std::uint32_t* tree = fenwick_.data();
   std::uint64_t sum = 0;
-  for (std::size_t i = index_a; i > 0; i -= i & (~i + 1)) sum += fenwick_[i];
+  for (std::size_t i = index_a; i > 0; i -= i & (~i + 1)) sum += tree[i];
   return sum;
 }
 
@@ -364,7 +365,8 @@ void StreamMonitor::close_window(bool) {
   core::ComparisonOptions options;
   options.collect_series = true;
   options.collect_alignment = config_.top_k > 0;
-  const core::ComparisonResult cmp = core::compare_trials(wa, wb, options);
+  const core::ComparisonResult cmp =
+      core::compare_trials(wa, wb, options, compare_scratch_);
 
   WindowRecord window;
   window.stream = stream_ordinal_;
@@ -573,7 +575,8 @@ void StreamMonitor::close_stream() {
   result.windows = window_index_;
   const core::Trial full =
       slice_trial(stream_packets_, 0, stream_packets_.size());
-  const core::ComparisonResult cmp = core::compare_trials(reference_, full);
+  const core::ComparisonResult cmp = core::compare_trials(
+      reference_, full, core::ComparisonOptions{}, compare_scratch_);
   result.metrics = cmp.metrics;
   result.common = cmp.common;
   result.moved = cmp.moved;

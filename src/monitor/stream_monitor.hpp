@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/compare_scratch.hpp"
 #include "core/metrics.hpp"
 #include "core/trial.hpp"
 #include "flow/flow_kappa.hpp"
@@ -260,15 +261,22 @@ class StreamMonitor {
   std::size_t window_begin_ = 0;
   std::uint64_t window_index_ = 0;
 
-  // Running accumulators (see RunningEstimate).
+  // Running accumulators (see RunningEstimate). Fenwick counts are one
+  // per reference position, so u32 nodes halve the tree's footprint on
+  // the per-packet hot path.
   IncrementalLis stream_lis_;
-  std::vector<std::uint64_t> fenwick_;
+  std::vector<std::uint32_t> fenwick_;
   std::size_t stream_matched_ = 0;
   double running_abs_latency_ns_ = 0.0;
   double running_abs_iat_ns_ = 0.0;
   double running_footrule_ = 0.0;
   Ns prev_b_time_ = 0;  ///< previous *matched* handling uses raw B stream
   RunningEstimate running_;
+
+  // Comparison arena for window closes and the stream finale. All
+  // compares run on the single pipeline thread (the worker in async
+  // mode), so one scratch serves every window without contention.
+  core::CompareScratch compare_scratch_;
 
   // Outputs.
   std::vector<WindowRecord> windows_;

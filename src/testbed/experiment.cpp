@@ -11,6 +11,7 @@
 #include "choir/middlebox.hpp"
 #include "common/expect.hpp"
 #include "common/task_pool.hpp"
+#include "core/compare_scratch.hpp"
 #include "fault/injector.hpp"
 #include "gen/generator.hpp"
 #include "gen/multi_flow.hpp"
@@ -112,6 +113,12 @@ struct ReplayPath {
 }  // namespace
 
 core::Trial rebased_trial(const trace::Capture& capture) {
+  core::Trial trial = capture.to_trial();
+  trial.rebase_to_zero();
+  return trial;
+}
+
+core::Trial rebased_trial(const trace::MappedCapture& capture) {
   core::Trial trial = capture.to_trial();
   trial.rebase_to_zero();
   return trial;
@@ -781,6 +788,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& c : captures) result.capture_sizes.push_back(c.size());
 
   const core::Trial trial_a = rebased_trial(captures[0]);
+  // Index run A's ids once; the flat index is immutable after build, so
+  // every B..E comparison shares it read-only instead of rebuilding its
+  // own per-comparison hash map over the same million-packet reference.
+  const core::ReferenceIndex ref_index(trial_a);
   core::ComparisonOptions options;
   options.collect_series = config.collect_series;
   // Each run B..E is compared against run A independently; fan the
@@ -802,7 +813,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     std::optional<telemetry::ScopedProfiler> task_prof;
     if (!eval_profiles.empty()) task_prof.emplace(&eval_profiles[i]);
     const core::Trial trial_b = rebased_trial(captures[i + 1]);
-    result.comparisons[i] = core::compare_trials(trial_a, trial_b, options);
+    core::CompareScratch scratch;
+    scratch.shared_ref = &ref_index;
+    result.comparisons[i] =
+        core::compare_trials(trial_a, trial_b, options, scratch);
   });
   for (const auto& ep : eval_profiles) profiler->merge_from(ep);
   result.mean = mean_metrics(result.comparisons);

@@ -23,6 +23,7 @@
 #include "telemetry/tracer.hpp"
 #include "testbed/presets.hpp"
 #include "trace/capture.hpp"
+#include "trace/trace_file.hpp"
 
 namespace choir::testbed {
 
@@ -257,5 +258,9 @@ core::ConsistencyMetrics mean_metrics(
 /// Rebase a capture's timestamps so its first packet is at 0 and build
 /// the metrics trial (the paper evaluates each pcap on its own timebase).
 core::Trial rebased_trial(const trace::Capture& capture);
+
+/// Same, straight from a mapped trace file — ids and timestamps decode
+/// from the page cache without materializing a Capture first.
+core::Trial rebased_trial(const trace::MappedCapture& capture);
 
 }  // namespace choir::testbed

@@ -2,8 +2,18 @@
 
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 #include "common/expect.hpp"
+#include "trace/tag.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CHOIR_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace choir::trace {
 
@@ -23,6 +33,16 @@ T get(std::ifstream& in) {
   return value;
 }
 
+/// memcpy-based field read: the 87-byte record stride leaves every
+/// multi-byte field unaligned somewhere, and a cast-and-deref would be
+/// UB there; memcpy compiles to the same single load on x86-64/ARM64.
+template <typename T>
+T get_at(const std::uint8_t* p) {
+  T value{};
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
 /// Loader-side validation: malformed input is a FormatError the caller
 /// can recover from, never an invariant failure and never a wild read.
 void check_format(bool ok, const std::string& what) {
@@ -32,6 +52,16 @@ void check_format(bool ok, const std::string& what) {
 /// Frames above this are not representable on any link the simulator
 /// models; a larger wire_len in a file is corruption, not jumbo frames.
 constexpr std::uint32_t kMaxPlausibleWireLen = 1u << 24;
+
+// Field offsets within one on-disk record.
+constexpr std::size_t kOffTimestamp = 0;
+constexpr std::size_t kOffWireLen = 8;
+constexpr std::size_t kOffHeaderLen = 12;
+constexpr std::size_t kOffHasTrailer = 14;
+constexpr std::size_t kOffHeader = 15;
+constexpr std::size_t kOffTrailer = kOffHeader + pktio::kMaxHeaderBytes;
+constexpr std::size_t kOffPayloadToken = kOffTrailer + pktio::kTrailerBytes;
+static_assert(kOffPayloadToken + 8 == kTraceRecordBytes);
 }  // namespace
 
 void write_trace(const Capture& capture, const std::string& path) {
@@ -75,10 +105,8 @@ Capture read_trace(const std::string& path) {
   in.seekg(0, std::ios::end);
   const auto file_end = in.tellg();
   in.seekg(header_end);
-  constexpr std::uint64_t kRecordBytes =
-      8 + 4 + 2 + 1 + pktio::kMaxHeaderBytes + pktio::kTrailerBytes + 8;
   check_format(count <= static_cast<std::uint64_t>(file_end - header_end) /
-                            kRecordBytes,
+                            kTraceRecordBytes,
                "trace record count exceeds file size: " + path);
 
   Capture capture(path);
@@ -107,6 +135,163 @@ Capture read_trace(const std::string& path) {
     check_format(in.good(), "truncated trace file: " + path);
     capture.append(r);
   }
+  return capture;
+}
+
+// ---- MappedCapture -----------------------------------------------------
+
+MappedCapture::MappedCapture(const std::string& path) : path_(path) {
+  load(path);
+}
+
+void MappedCapture::load(const std::string& path) {
+#if CHOIR_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  check_format(fd >= 0, "cannot open trace file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw FormatError("cannot open trace file: " + path);
+  }
+  const auto file_len = static_cast<std::size_t>(st.st_size);
+  check_format(file_len >= kTraceHeaderBytes,
+               "truncated trace header: " + path);
+  void* map = ::mmap(nullptr, file_len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    // Mapping itself failed (special filesystem, resource limit):
+    // degrade to copy semantics, not to an error.
+    fallback_ = read_trace(path);
+    count_ = fallback_.size();
+    return;
+  }
+  map_ = map;
+  map_len_ = file_len;
+  try {
+    const auto* bytes = static_cast<const std::uint8_t*>(map_);
+    check_format(std::memcmp(bytes, kMagic, 8) == 0,
+                 "bad trace magic: " + path);
+    const auto version = get_at<std::uint32_t>(bytes + 8);
+    check_format(version == kTraceVersion,
+                 "unsupported trace version " + std::to_string(version) +
+                     ": " + path);
+    count_ = get_at<std::uint64_t>(bytes + 12);
+    check_format(count_ <= (map_len_ - kTraceHeaderBytes) / kTraceRecordBytes,
+                 "trace record count exceeds file size: " + path);
+    // Validate every record's sanity fields up front (one pass over two
+    // fields per record) so the random-access accessors can stay
+    // check-free on the hot path.
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      const std::uint8_t* r = record_ptr(i);
+      const auto header_len = get_at<std::uint16_t>(r + kOffHeaderLen);
+      const auto wire_len = get_at<std::uint32_t>(r + kOffWireLen);
+      check_format(header_len <= pktio::kMaxHeaderBytes,
+                   "trace record " + std::to_string(i) +
+                       " header_len exceeds maximum: " + path);
+      check_format(wire_len <= kMaxPlausibleWireLen && wire_len >= header_len,
+                   "trace record " + std::to_string(i) +
+                       " has implausible wire_len: " + path);
+    }
+  } catch (...) {
+    unmap();
+    throw;
+  }
+#else
+  fallback_ = read_trace(path);
+  count_ = fallback_.size();
+#endif
+}
+
+void MappedCapture::unmap() noexcept {
+#if CHOIR_TRACE_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+  map_ = nullptr;
+  map_len_ = 0;
+}
+
+MappedCapture::~MappedCapture() { unmap(); }
+
+MappedCapture::MappedCapture(MappedCapture&& other) noexcept
+    : path_(std::move(other.path_)),
+      map_(other.map_),
+      map_len_(other.map_len_),
+      count_(other.count_),
+      fallback_(std::move(other.fallback_)) {
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.count_ = 0;
+}
+
+MappedCapture& MappedCapture::operator=(MappedCapture&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    map_ = other.map_;
+    map_len_ = other.map_len_;
+    count_ = other.count_;
+    fallback_ = std::move(other.fallback_);
+    other.map_ = nullptr;
+    other.map_len_ = 0;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+const std::uint8_t* MappedCapture::record_ptr(std::size_t i) const {
+  return static_cast<const std::uint8_t*>(map_) + kTraceHeaderBytes +
+         i * kTraceRecordBytes;
+}
+
+Ns MappedCapture::timestamp(std::size_t i) const {
+  if (map_ == nullptr) return fallback_[i].timestamp;
+  return get_at<std::int64_t>(record_ptr(i) + kOffTimestamp);
+}
+
+core::PacketId MappedCapture::raw_packet_id(std::size_t i) const {
+  if (map_ == nullptr) return fallback_[i].packet_id();
+  const std::uint8_t* r = record_ptr(i);
+  if (get_at<std::uint8_t>(r + kOffHasTrailer) != 0) {
+    std::array<std::uint8_t, pktio::kTrailerBytes> trailer;
+    std::memcpy(trailer.data(), r + kOffTrailer, trailer.size());
+    if (const auto tag = decode_tag(trailer)) return packet_id_of(*tag);
+  }
+  core::PacketId id;
+  id.hi = 0x7261772d74616773ULL;  // untagged: fall back to payload
+  id.lo = get_at<std::uint64_t>(r + kOffPayloadToken);
+  return id;
+}
+
+CaptureRecord MappedCapture::record(std::size_t i) const {
+  if (map_ == nullptr) return fallback_[i];
+  const std::uint8_t* p = record_ptr(i);
+  CaptureRecord r;
+  r.timestamp = get_at<std::int64_t>(p + kOffTimestamp);
+  r.wire_len = get_at<std::uint32_t>(p + kOffWireLen);
+  r.header_len = get_at<std::uint16_t>(p + kOffHeaderLen);
+  r.has_trailer = get_at<std::uint8_t>(p + kOffHasTrailer) != 0;
+  std::memcpy(r.header.data(), p + kOffHeader, r.header.size());
+  std::memcpy(r.trailer.data(), p + kOffTrailer, r.trailer.size());
+  r.payload_token = get_at<std::uint64_t>(p + kOffPayloadToken);
+  return r;
+}
+
+core::Trial MappedCapture::to_trial() const {
+  if (map_ == nullptr) return fallback_.to_trial();
+  core::Trial trial;
+  trial.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    trial.push_back(core::TrialPacket{raw_packet_id(i), timestamp(i)});
+  }
+  trial.make_occurrences_unique();
+  return trial;
+}
+
+Capture MappedCapture::materialize() const {
+  if (map_ == nullptr) return fallback_;
+  Capture capture(path_);
+  capture.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) capture.append(record(i));
   return capture;
 }
 

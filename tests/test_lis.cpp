@@ -33,12 +33,13 @@ bool is_valid_increasing_subsequence(const std::vector<std::uint32_t>& v,
 }
 
 TEST(Lis, EmptyInput) {
-  EXPECT_TRUE(longest_increasing_subsequence({}).empty());
-  EXPECT_EQ(lis_length({}), 0u);
+  EXPECT_TRUE(
+      longest_increasing_subsequence(std::vector<std::uint32_t>{}).empty());
+  EXPECT_EQ(lis_length(std::vector<std::uint32_t>{}), 0u);
 }
 
 TEST(Lis, SingleElement) {
-  const auto r = longest_increasing_subsequence({42});
+  const auto r = longest_increasing_subsequence(std::vector<std::uint32_t>{42});
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r[0], 0u);
 }

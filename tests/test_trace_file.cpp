@@ -90,6 +90,118 @@ TEST_F(TraceFileTest, TruncatedFileRejected) {
   EXPECT_THROW(read_trace(path), Error);
 }
 
+// --- MappedCapture ------------------------------------------------------
+
+TEST_F(TraceFileTest, MappedMatchesReadTrace) {
+  const Capture original = sample_capture(100);
+  write_trace(original, path);
+  const Capture loaded = read_trace(path);
+  const MappedCapture mapped(path);
+  EXPECT_TRUE(mapped.zero_copy());
+  ASSERT_EQ(mapped.size(), loaded.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(mapped.timestamp(i), loaded[i].timestamp);
+    EXPECT_EQ(mapped.raw_packet_id(i).hi, loaded[i].packet_id().hi);
+    EXPECT_EQ(mapped.raw_packet_id(i).lo, loaded[i].packet_id().lo);
+    const CaptureRecord r = mapped.record(i);
+    EXPECT_EQ(r.timestamp, loaded[i].timestamp);
+    EXPECT_EQ(r.wire_len, loaded[i].wire_len);
+    EXPECT_EQ(r.header_len, loaded[i].header_len);
+    EXPECT_EQ(r.header, loaded[i].header);
+    EXPECT_EQ(r.has_trailer, loaded[i].has_trailer);
+    EXPECT_EQ(r.trailer, loaded[i].trailer);
+    EXPECT_EQ(r.payload_token, loaded[i].payload_token);
+  }
+}
+
+TEST_F(TraceFileTest, MappedToTrialMatchesCapture) {
+  write_trace(sample_capture(200), path);
+  const core::Trial from_read = read_trace(path).to_trial();
+  const core::Trial from_map = MappedCapture(path).to_trial();
+  ASSERT_EQ(from_map.size(), from_read.size());
+  for (std::size_t i = 0; i < from_read.size(); ++i) {
+    EXPECT_EQ(from_map[i].id.hi, from_read[i].id.hi);
+    EXPECT_EQ(from_map[i].id.lo, from_read[i].id.lo);
+    EXPECT_EQ(from_map[i].time, from_read[i].time);
+  }
+}
+
+TEST_F(TraceFileTest, MappedMaterializeMatchesReadTrace) {
+  write_trace(sample_capture(40), path);
+  const Capture loaded = read_trace(path);
+  const Capture materialized = MappedCapture(path).materialize();
+  ASSERT_EQ(materialized.size(), loaded.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(materialized[i].timestamp, loaded[i].timestamp);
+    EXPECT_EQ(materialized[i].header, loaded[i].header);
+    EXPECT_EQ(materialized[i].trailer, loaded[i].trailer);
+    EXPECT_EQ(materialized[i].payload_token, loaded[i].payload_token);
+  }
+}
+
+TEST_F(TraceFileTest, MappedUntaggedIdFallsBackToPayloadToken) {
+  Capture cap("untagged");
+  pktio::Frame frame;
+  frame.wire_len = 64;
+  frame.payload_token = 0xDEADBEEF;
+  cap.append(CaptureRecord::from_frame(frame, 5));
+  write_trace(cap, path);
+  const MappedCapture mapped(path);
+  EXPECT_EQ(mapped.raw_packet_id(0).lo, 0xDEADBEEFu);
+  EXPECT_EQ(mapped.raw_packet_id(0).hi, cap[0].packet_id().hi);
+}
+
+TEST_F(TraceFileTest, MappedEmptyTrace) {
+  write_trace(Capture("empty"), path);
+  const MappedCapture mapped(path);
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_EQ(mapped.to_trial().size(), 0u);
+}
+
+TEST_F(TraceFileTest, MappedMissingFileThrows) {
+  EXPECT_THROW(MappedCapture(path + ".does-not-exist"), FormatError);
+}
+
+TEST_F(TraceFileTest, MappedBadMagicRejected) {
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTATRACE-FILE-AT-ALL";
+  out.close();
+  EXPECT_THROW(MappedCapture{path}, FormatError);
+}
+
+TEST_F(TraceFileTest, MappedBadVersionRejected) {
+  write_trace(sample_capture(3), path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);  // version field follows the 8-byte magic
+  const std::uint32_t bad = 999;
+  f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  f.close();
+  EXPECT_THROW(MappedCapture{path}, FormatError);
+  EXPECT_THROW(read_trace(path), FormatError);
+}
+
+TEST_F(TraceFileTest, MappedTruncatedRejected) {
+  write_trace(sample_capture(10), path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  ASSERT_EQ(truncate(path.c_str(), size - 20), 0);
+  EXPECT_THROW(MappedCapture{path}, FormatError);
+}
+
+TEST_F(TraceFileTest, MappedCorruptWireLenRejected) {
+  write_trace(sample_capture(5), path);
+  // Record 2's wire_len field: header + 2 records + 8-byte offset.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(kTraceHeaderBytes +
+                                      2 * kTraceRecordBytes + 8));
+  const std::uint32_t bad = 0xFFFFFFFF;
+  f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  f.close();
+  EXPECT_THROW(MappedCapture{path}, FormatError);
+  EXPECT_THROW(read_trace(path), FormatError);
+}
+
 TEST_F(TraceFileTest, NegativeTimestampsSupported) {
   Capture cap("neg");
   pktio::Frame frame;

@@ -928,16 +928,29 @@ int cmd_save(const std::vector<std::string>& args) {
   return 0;
 }
 
+bool is_pcap_path(const std::string& path) {
+  return path.size() > 5 && path.compare(path.size() - 5, 5, ".pcap") == 0;
+}
+
 trace::Capture load_capture(const std::string& path) {
-  const bool pcap = path.size() > 5 &&
-                    path.compare(path.size() - 5, 5, ".pcap") == 0;
-  return pcap ? trace::read_pcap(path) : trace::read_trace(path);
+  if (is_pcap_path(path)) return trace::read_pcap(path);
+  // Native traces go through the mapped loader (falls back to a stream
+  // read transparently where mmap is unavailable).
+  return trace::MappedCapture(path).materialize();
+}
+
+/// Build a comparison trial from a capture file. Native traces decode
+/// ids and timestamps straight from the mapped bytes — the 48-byte
+/// headers the metrics never look at are never copied.
+core::Trial load_trial(const std::string& path) {
+  if (is_pcap_path(path)) return testbed::rebased_trial(trace::read_pcap(path));
+  return testbed::rebased_trial(trace::MappedCapture(path));
 }
 
 int cmd_compare(const std::vector<std::string>& args) {
   if (args.size() < 4) return usage();
-  const auto a = testbed::rebased_trial(load_capture(args[2]));
-  const auto b = testbed::rebased_trial(load_capture(args[3]));
+  const auto a = load_trial(args[2]);
+  const auto b = load_trial(args[3]);
   core::ComparisonOptions copt;
   copt.collect_series = true;
   const auto cmp = core::compare_trials(a, b, copt);
